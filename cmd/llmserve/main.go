@@ -1,0 +1,59 @@
+// Command llmserve exposes the simulated LLM behind an OpenAI-
+// compatible chat-completions endpoint, so the optimization pipeline —
+// or any OpenAI client — can be exercised across a real network
+// boundary.
+//
+// Usage:
+//
+//	llmserve -dataset cora -profile gpt-3.5 -addr :8080
+//	curl -s localhost:8080/v1/chat/completions -d '{
+//	  "model": "sim", "messages": [{"role":"user","content":"<prompt>"}]}'
+//
+// The served model is deterministic for a given (dataset, profile,
+// seed); prompts must follow the Table III templates (build them with
+// the mqo package or the prompt package).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/llm"
+	"repro/internal/tag"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "cora", "dataset whose vocabulary/classes back the simulator")
+		profile = flag.String("profile", "gpt-3.5", "simulated profile: gpt-3.5 or gpt-4o-mini")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		scale   = flag.Float64("scale", 1, "dataset scale factor")
+		addr    = flag.String("addr", ":8080", "listen address")
+		apiKey  = flag.String("api-key", "", "require this Bearer token when non-empty")
+	)
+	flag.Parse()
+
+	spec, err := tag.SpecByName(*dataset)
+	if err != nil {
+		log.Fatalf("llmserve: %v", err)
+	}
+	g := tag.Generate(spec, *seed, tag.Options{Scale: *scale})
+
+	var p llm.Profile
+	switch *profile {
+	case "gpt-3.5":
+		p = llm.GPT35()
+	case "gpt-4o-mini":
+		p = llm.GPT4oMini()
+	default:
+		log.Fatalf("llmserve: unknown profile %q (want gpt-3.5 or gpt-4o-mini)", *profile)
+	}
+
+	h := llm.NewHandler(llm.NewSim(p, g.Vocab, g.Classes, *seed))
+	h.RequireKey = *apiKey
+	fmt.Printf("llmserve: %s profile over %s (%d nodes, %d classes) on %s%s\n",
+		p.Name, g.Display, g.NumNodes(), len(g.Classes), *addr, llm.ChatCompletionsPath)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,93 @@
+// Command mqobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mqobench -exp table4            # one experiment at paper scale
+//	mqobench -exp all -fast         # everything, reduced scale
+//	mqobench -list                  # show available experiment ids
+//
+// Output is plain text: the same rows/series the paper reports,
+// produced by the simulated substrate described in DESIGN.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		seeds   = flag.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
+		fast    = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "mqobench: -exp is required (use -list to see ids)")
+		os.Exit(2)
+	}
+
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "mqobench: -seeds must be >= 1")
+		os.Exit(2)
+	}
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mqobench: unknown experiment %q; known: %v\n", *exp, experiments.IDs())
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range toRun {
+		for rep := 0; rep < *seeds; rep++ {
+			s := *seed + uint64(rep)
+			cfg := experiments.Config{Seed: s, Fast: *fast}
+			start := time.Now()
+			out, err := e.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mqobench: %s (seed %d) failed: %v\n", e.ID, s, err)
+				os.Exit(1)
+			}
+			if *jsonOut {
+				if err := enc.Encode(map[string]any{
+					"id":      e.ID,
+					"title":   e.Title,
+					"seed":    s,
+					"fast":    *fast,
+					"seconds": time.Since(start).Seconds(),
+					"output":  out,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "mqobench: encoding %s: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+				continue
+			}
+			label := e.ID
+			if *seeds > 1 {
+				label = fmt.Sprintf("%s (seed %d)", e.ID, s)
+			}
+			fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", label, e.Title, time.Since(start).Seconds(), out)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command mqorun executes an optimized multi-query node-classification
+// plan end-to-end on one dataset: it fits the text-inadequacy measure,
+// prunes to the requested token budget (or fraction), optionally boosts
+// with pseudo-label scheduling, and reports accuracy and token usage
+// against the unoptimized baseline.
+//
+// Usage:
+//
+//	mqorun -dataset cora -method 2-hop -prune 0.2 -boost
+//	mqorun -dataset pubmed -method sns -budget 1200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tablefmt"
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+func methodByName(name string) (predictors.Method, error) {
+	switch strings.ToLower(name) {
+	case "vanilla":
+		return predictors.Vanilla{}, nil
+	case "1-hop", "1hop":
+		return predictors.KHopRandom{K: 1}, nil
+	case "2-hop", "2hop":
+		return predictors.KHopRandom{K: 2}, nil
+	case "sns":
+		return predictors.SNS{}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (vanilla, 1-hop, 2-hop, sns)", name)
+	}
+}
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "cora", "dataset name: "+strings.Join(tag.SortedNames(), ", "))
+		mName    = flag.String("method", "2-hop", "prediction method: vanilla, 1-hop, 2-hop, sns")
+		model    = flag.String("model", "gpt-3.5", "LLM profile: gpt-3.5 or gpt-4o-mini")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		queries  = flag.Int("queries", 0, "query count (0 = dataset default)")
+		prune    = flag.Float64("prune", -1, "prune fraction tau in [0,1] (overrides -budget)")
+		budget   = flag.Float64("budget", 0, "input-token budget B (0 = unlimited)")
+		boost    = flag.Bool("boost", false, "apply query boosting")
+		m        = flag.Int("m", 4, "max neighbors per prompt")
+		savePlan = flag.String("save-plan", "", "write the optimized plan to this JSON file")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mqorun: %v\n", err)
+		os.Exit(1)
+	}
+
+	spec, err := tag.SpecByName(*dsName)
+	if err != nil {
+		fail(err)
+	}
+	method, err := methodByName(*mName)
+	if err != nil {
+		fail(err)
+	}
+	var profile llm.Profile
+	switch *model {
+	case "gpt-3.5":
+		profile = llm.GPT35()
+	case "gpt-4o-mini":
+		profile = llm.GPT4oMini()
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	fmt.Printf("generating %s (scale %.2f)...\n", spec.Display, *scale)
+	g := tag.Generate(spec, *seed, tag.Options{Scale: *scale})
+	q := spec.QueryCount
+	if *queries > 0 {
+		q = *queries
+	}
+	srng := xrand.New(*seed).SplitString("mqorun/split")
+	var split tag.Split
+	if spec.LabeledPerClass > 0 {
+		split = g.SplitPerClass(srng, spec.LabeledPerClass, q)
+	} else {
+		split = g.SplitFraction(srng, spec.LabeledFrac, q)
+	}
+
+	newCtx := func() *predictors.Context {
+		return &predictors.Context{
+			Graph: g,
+			Known: predictors.KnownFromSplit(g, split),
+			M:     *m,
+			Seed:  *seed,
+		}
+	}
+	sim := llm.NewSim(profile, g.Vocab, g.Classes, *seed+7)
+
+	// Baseline.
+	fmt.Printf("running baseline %s over %d queries...\n", method.Name(), len(split.Query))
+	base, err := core.Execute(newCtx(), method, sim, core.Plan{Queries: split.Query})
+	if err != nil {
+		fail(err)
+	}
+
+	// Optimized plan.
+	plan := core.Plan{Queries: split.Query}
+	tau := 0.0
+	if *prune >= 0 || *budget > 0 {
+		fmt.Println("fitting text-inadequacy measure...")
+		iqCfg := core.DefaultInadequacyConfig()
+		iqCfg.Seed = *seed
+		iq, err := core.FitInadequacy(g, split.Labeled, sim, "paper", iqCfg)
+		if err != nil {
+			fail(err)
+		}
+		tau = *prune
+		if tau < 0 {
+			perQ, perN := core.EstimateQueryTokens(newCtx(), method, split.Query, 200)
+			tau = core.TauForBudget(*budget, len(split.Query), perQ, perN)
+			fmt.Printf("budget %.0f tokens -> tau = %.2f (perQuery %.0f, perNeighborText %.0f)\n", *budget, tau, perQ, perN)
+		}
+		plan = core.PrunePlan(iq, g, split.Query, tau)
+	}
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			fail(err)
+		}
+		err = core.SavePlan(f, plan)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(fmt.Errorf("saving plan: %w", err))
+		}
+		fmt.Printf("plan written to %s (%d queries, %d pruned)\n", *savePlan, len(plan.Queries), len(plan.Prune))
+	}
+
+	var optimized *core.Results
+	if *boost {
+		fmt.Println("executing with query boosting...")
+		optimized, _, err = core.Boost(newCtx(), method, sim, plan, core.DefaultBoostConfig())
+	} else {
+		fmt.Println("executing plan...")
+		optimized, err = core.Execute(newCtx(), method, sim, plan)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	t := tablefmt.New("\nresults", "run", "accuracy (%)", "input tokens", "equipped", "rounds")
+	t.AddRow("baseline",
+		tablefmt.Pct(core.Accuracy(g, base.Pred)),
+		tablefmt.Int(int64(base.Meter.InputTokens())),
+		fmt.Sprint(base.Equipped), fmt.Sprint(base.Rounds))
+	name := "optimized"
+	if tau > 0 {
+		name += fmt.Sprintf(" (prune %.0f%%", 100*tau)
+		if *boost {
+			name += " + boost"
+		}
+		name += ")"
+	} else if *boost {
+		name += " (boost)"
+	}
+	t.AddRow(name,
+		tablefmt.Pct(core.Accuracy(g, optimized.Pred)),
+		tablefmt.Int(int64(optimized.Meter.InputTokens())),
+		fmt.Sprint(optimized.Equipped), fmt.Sprint(optimized.Rounds))
+	fmt.Print(t.String())
+
+	saved := base.Meter.InputTokens() - optimized.Meter.InputTokens()
+	if saved != 0 {
+		fmt.Printf("\ninput tokens saved vs baseline: %s (%.1f%%)\n",
+			tablefmt.Int(int64(saved)), 100*float64(saved)/float64(base.Meter.InputTokens()))
+	}
+	if optimized.PseudoLabelUses > 0 {
+		fmt.Printf("pseudo-label enrichments during boosting: %d\n", optimized.PseudoLabelUses)
+	}
+}

@@ -1,0 +1,360 @@
+// Package batch executes large sets of LLM queries against real-world
+// API constraints: bounded concurrency, rate limits, transient
+// failures, a hard token budget, response caching and a JSONL audit
+// log. It is the operational layer under the paper's multi-query
+// optimization: Algorithm 1/2 decide *what* to ask; this package gets
+// the batch asked reliably and within budget.
+//
+// The executor preserves the black-box Predictor contract — it only
+// sees prompt strings — so it works identically over the simulator and
+// the HTTP client.
+package batch
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// Request is one query to execute: an opaque caller ID plus the final
+// prompt text.
+type Request struct {
+	ID     string
+	Prompt string
+}
+
+// Config tunes an Executor.
+type Config struct {
+	// Workers is the number of concurrent in-flight queries
+	// (default 4).
+	Workers int
+	// QPS caps the dispatch rate across all workers; 0 means unlimited.
+	QPS float64
+	// MaxRetries bounds per-query retries on transient failures
+	// (default 2). Non-retryable API errors (4xx) fail immediately.
+	MaxRetries int
+	// RetryDelay is the initial backoff, doubled per retry
+	// (default 100ms).
+	RetryDelay time.Duration
+	// BudgetTokens, when > 0, is a hard cap on total tokens
+	// (input + output) across the batch. Queries that would start after
+	// the cap is reached fail with ErrBudgetExhausted instead of
+	// spending money.
+	BudgetTokens int
+	// Cache serves repeated prompts from memory instead of re-querying.
+	Cache bool
+	// Log, when non-nil, receives one JSON line per query outcome.
+	// Prompts are logged as SHA-256 digests, never as raw text.
+	Log io.Writer
+}
+
+// ErrBudgetExhausted marks queries skipped because the token budget was
+// already spent.
+var ErrBudgetExhausted = errors.New("batch: token budget exhausted")
+
+// Outcome is the result of one request.
+type Outcome struct {
+	Response llm.Response
+	Err      error
+	// Cached reports that the response was served from the cache.
+	Cached bool
+	// Attempts counts predictor calls made for this request (0 when
+	// cached or skipped).
+	Attempts int
+}
+
+// Result aggregates a batch execution.
+type Result struct {
+	// Outcomes maps request IDs to their outcomes.
+	Outcomes map[string]Outcome
+	// TokensUsed is the total input+output tokens actually spent.
+	TokensUsed int
+	// CacheHits counts requests served from the cache.
+	CacheHits int
+	// Failed counts requests whose final outcome is an error.
+	Failed int
+	// Skipped counts requests refused under ErrBudgetExhausted.
+	Skipped int
+}
+
+// Executor runs batches against one predictor.
+type Executor struct {
+	p   llm.Predictor
+	cfg Config
+
+	mu     sync.Mutex
+	cache  map[string]llm.Response
+	logErr error
+}
+
+// New builds an executor. The predictor may be used concurrently from
+// Config.Workers goroutines; wrap non-thread-safe predictors (like
+// *llm.Sim) with Serialize.
+func New(p llm.Predictor, cfg Config) (*Executor, error) {
+	if p == nil {
+		return nil, errors.New("batch: nil predictor")
+	}
+	if cfg.Workers < 0 || cfg.QPS < 0 || cfg.MaxRetries < 0 || cfg.BudgetTokens < 0 {
+		return nil, fmt.Errorf("batch: negative config value: %+v", cfg)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 100 * time.Millisecond
+	}
+	e := &Executor{p: p, cfg: cfg}
+	if cfg.Cache {
+		e.cache = make(map[string]llm.Response)
+	}
+	return e, nil
+}
+
+// logLine is the JSONL audit record for one query.
+type logLine struct {
+	Time         string `json:"time"`
+	ID           string `json:"id"`
+	PromptSHA256 string `json:"prompt_sha256"`
+	InputTokens  int    `json:"input_tokens,omitempty"`
+	OutputTokens int    `json:"output_tokens,omitempty"`
+	Category     string `json:"category,omitempty"`
+	Cached       bool   `json:"cached,omitempty"`
+	Attempts     int    `json:"attempts,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// log writes one audit line; write errors are remembered and surfaced
+// by Execute rather than dropped.
+func (e *Executor) log(l logLine) {
+	if e.cfg.Log == nil {
+		return
+	}
+	l.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(l)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = e.cfg.Log.Write(data)
+	}
+	if err != nil {
+		e.mu.Lock()
+		if e.logErr == nil {
+			e.logErr = err
+		}
+		e.mu.Unlock()
+	}
+}
+
+// promptDigest fingerprints a prompt for the audit log.
+func promptDigest(p string) string {
+	sum := sha256.Sum256([]byte(p))
+	return hex.EncodeToString(sum[:8])
+}
+
+// budget tracks remaining tokens across workers.
+type budget struct {
+	mu        sync.Mutex
+	remaining int
+	unlimited bool
+	spent     int
+}
+
+// tryReserve reports whether the batch may start another query, i.e.
+// the budget is not yet exhausted. Token costs are only known after the
+// response, so the guard admits a query while any budget remains and
+// charges the actual usage afterwards (the overshoot is at most one
+// query per worker, matching how per-request billing behaves).
+func (b *budget) tryReserve() bool {
+	if b.unlimited {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining > 0
+}
+
+// charge records actual usage.
+func (b *budget) charge(tokens int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent += tokens
+	if !b.unlimited {
+		b.remaining -= tokens
+	}
+}
+
+// Execute runs all requests and returns per-request outcomes. It only
+// returns a top-level error for setup problems (nil context) or a
+// failing audit log; per-query failures are reported in Outcomes so one
+// bad query cannot void a 10,000-query batch.
+func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error) {
+	if ctx == nil {
+		return nil, errors.New("batch: nil context")
+	}
+	res := &Result{Outcomes: make(map[string]Outcome, len(reqs))}
+	seen := make(map[string]bool, len(reqs))
+	for _, r := range reqs {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("batch: duplicate request ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+
+	bud := &budget{remaining: e.cfg.BudgetTokens, unlimited: e.cfg.BudgetTokens == 0}
+
+	// Rate limiter: a shared ticker paces dispatches across workers.
+	var tick <-chan time.Time
+	if e.cfg.QPS > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / e.cfg.QPS))
+		defer t.Stop()
+		tick = t.C
+	}
+
+	work := make(chan Request)
+	var wg sync.WaitGroup
+	var outMu sync.Mutex
+	record := func(id string, o Outcome) {
+		outMu.Lock()
+		res.Outcomes[id] = o
+		switch {
+		case errors.Is(o.Err, ErrBudgetExhausted):
+			res.Skipped++
+		case o.Err != nil:
+			res.Failed++
+		case o.Cached:
+			res.CacheHits++
+		}
+		outMu.Unlock()
+	}
+
+	for i := 0; i < e.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				record(r.ID, e.one(ctx, r, bud, tick))
+			}
+		}()
+	}
+
+feed:
+	for _, r := range reqs {
+		select {
+		case work <- r:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	// Requests never dispatched because the context ended.
+	for _, r := range reqs {
+		if _, ok := res.Outcomes[r.ID]; !ok {
+			record(r.ID, Outcome{Err: ctx.Err()})
+		}
+	}
+	res.TokensUsed = bud.spent
+
+	e.mu.Lock()
+	logErr := e.logErr
+	e.mu.Unlock()
+	if logErr != nil {
+		return res, fmt.Errorf("batch: audit log failed: %w", logErr)
+	}
+	return res, nil
+}
+
+// one executes a single request: cache check, budget guard, rate-paced
+// predictor calls with retry.
+func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan time.Time) Outcome {
+	digest := promptDigest(r.Prompt)
+
+	if e.cache != nil {
+		e.mu.Lock()
+		cached, ok := e.cache[r.Prompt]
+		e.mu.Unlock()
+		if ok {
+			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: cached.Category, Cached: true})
+			return Outcome{Response: cached, Cached: true}
+		}
+	}
+	if !bud.tryReserve() {
+		e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: ErrBudgetExhausted.Error()})
+		return Outcome{Err: ErrBudgetExhausted}
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= e.cfg.MaxRetries+1; attempt++ {
+		if attempt > 1 {
+			delay := e.cfg.RetryDelay << (attempt - 2)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}
+			}
+		}
+		if tick != nil {
+			select {
+			case <-tick:
+			case <-ctx.Done():
+				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}
+			}
+		}
+		resp, err := e.p.Query(r.Prompt)
+		if err == nil {
+			bud.charge(resp.InputTokens + resp.OutputTokens)
+			if e.cache != nil {
+				e.mu.Lock()
+				e.cache[r.Prompt] = resp
+				e.mu.Unlock()
+			}
+			e.log(logLine{
+				ID: r.ID, PromptSHA256: digest,
+				InputTokens: resp.InputTokens, OutputTokens: resp.OutputTokens,
+				Category: resp.Category, Attempts: attempt,
+			})
+			return Outcome{Response: resp, Attempts: attempt}
+		}
+		lastErr = err
+		var apiErr *llm.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 && apiErr.StatusCode != 429 {
+			e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt, Error: err.Error()})
+			return Outcome{Err: err, Attempts: attempt}
+		}
+	}
+	e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: e.cfg.MaxRetries + 1, Error: lastErr.Error()})
+	return Outcome{
+		Err:      fmt.Errorf("batch: request %q failed after %d attempts: %w", r.ID, e.cfg.MaxRetries+1, lastErr),
+		Attempts: e.cfg.MaxRetries + 1,
+	}
+}
+
+// Serialize wraps a predictor with a mutex so single-threaded
+// implementations (like *llm.Sim) can serve a concurrent Executor.
+func Serialize(p llm.Predictor) llm.Predictor { return &serialized{p: p} }
+
+type serialized struct {
+	mu sync.Mutex
+	p  llm.Predictor
+}
+
+// Name implements llm.Predictor.
+func (s *serialized) Name() string { return s.p.Name() }
+
+// Query implements llm.Predictor under a lock.
+func (s *serialized) Query(prompt string) (llm.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Query(prompt)
+}

@@ -1,0 +1,33 @@
+package batch
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReplayLog hardens checkpoint recovery against corrupted audit
+// logs: never panic, never recover an outcome without an ID, and keep
+// token counts non-negative... the log is the billing record.
+func FuzzReplayLog(f *testing.F) {
+	f.Add(`{"id":"a","prompt_sha256":"x","input_tokens":5,"output_tokens":1,"category":"K","attempts":1}`)
+	f.Add(`{"id":"b","error":"boom"}` + "\n" + `{"id":"b","input_tokens":3,"category":"L"}`)
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"id":""}`)
+	f.Add("{")
+
+	f.Fuzz(func(t *testing.T, log string) {
+		done, err := ReplayLog(strings.NewReader(log))
+		if err != nil {
+			return
+		}
+		for id, resp := range done {
+			if id == "" {
+				t.Fatal("recovered an outcome with empty ID")
+			}
+			if resp.InputTokens < 0 || resp.OutputTokens < 0 {
+				t.Fatalf("negative token counts recovered: %+v", resp)
+			}
+		}
+	})
+}

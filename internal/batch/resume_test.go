@@ -1,0 +1,109 @@
+package batch
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCrashAndResume simulates the operational story: a batch dies
+// when its token budget runs out, and the re-run replays the audit log
+// so only the unfinished queries are billed again.
+func TestCrashAndResume(t *testing.T) {
+	p := newScripted()
+	p.tokens = 100
+
+	var logBuf bytes.Buffer
+	all := reqs(10)
+
+	// First run: budget covers only 4 of 10 queries.
+	e1, err := New(p, Config{Workers: 1, BudgetTokens: 400, Log: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := e1.Execute(context.Background(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Skipped != 6 {
+		t.Fatalf("first run skipped %d, want 6", res1.Skipped)
+	}
+
+	// Resume: replay the log, run only the remainder.
+	done, err := ReplayLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("replay recovered %d outcomes, want 4", len(done))
+	}
+	todo, recovered := FilterDone(all, done)
+	if len(todo) != 6 || len(recovered) != 4 {
+		t.Fatalf("FilterDone: %d todo / %d recovered, want 6/4", len(todo), len(recovered))
+	}
+	for id, o := range recovered {
+		if !o.Cached || o.Err != nil || o.Response.Category != "A" {
+			t.Fatalf("recovered outcome %s corrupted: %+v", id, o)
+		}
+		if o.Response.InputTokens != 100 {
+			t.Fatalf("recovered outcome %s lost usage: %+v", id, o.Response)
+		}
+	}
+
+	callsBefore := p.total.Load()
+	e2, err := New(p, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Execute(context.Background(), todo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Failed != 0 || len(res2.Outcomes) != 6 {
+		t.Fatalf("resume run: %+v", res2)
+	}
+	if got := p.total.Load() - callsBefore; got != 6 {
+		t.Errorf("resume billed %d queries, want 6", got)
+	}
+}
+
+func TestReplayLogSkipsFailuresAndRejectsGarbage(t *testing.T) {
+	log := strings.Join([]string{
+		`{"time":"t","id":"a","prompt_sha256":"x","input_tokens":5,"output_tokens":1,"category":"K","attempts":1}`,
+		`{"time":"t","id":"b","prompt_sha256":"y","error":"boom","attempts":3}`,
+		``,
+		`{"time":"t","id":"c","prompt_sha256":"z","input_tokens":7,"output_tokens":2,"category":"L","attempts":2}`,
+	}, "\n")
+	done, err := ReplayLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("recovered %d, want 2 (failure line must not count)", len(done))
+	}
+	if done["a"].Category != "K" || done["c"].OutputTokens != 2 {
+		t.Errorf("recovered wrong payloads: %+v", done)
+	}
+
+	if _, err := ReplayLog(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReplayLog(strings.NewReader(`{"time":"t"}`)); err == nil {
+		t.Error("line without ID accepted")
+	}
+}
+
+func TestReplayLogLaterLineSupersedes(t *testing.T) {
+	log := strings.Join([]string{
+		`{"id":"a","prompt_sha256":"x","input_tokens":5,"category":"OLD","attempts":1}`,
+		`{"id":"a","prompt_sha256":"x","input_tokens":6,"category":"NEW","attempts":1}`,
+	}, "\n")
+	done, err := ReplayLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done["a"].Category != "NEW" || done["a"].InputTokens != 6 {
+		t.Errorf("later line did not supersede: %+v", done["a"])
+	}
+}

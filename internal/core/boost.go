@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tag"
+)
+
+// BoostConfig configures the query boosting strategy (Algorithm 2).
+type BoostConfig struct {
+	// Gamma1 is the neighbor-label threshold |N_i^L| >= γ1; the paper
+	// uses 3 for all datasets.
+	Gamma1 int
+	// Gamma2 is the conflicting-label threshold LC_i <= γ2; the paper
+	// uses 2.
+	Gamma2 int
+	// RelaxGamma2First flips the relaxation order from the default
+	// (γ1 first, then γ2, alternating) — an ablation knob.
+	RelaxGamma2First bool
+	// MaxRounds caps the outer loop as a safety net; 0 means |V_Q|+K
+	// rounds, enough for full relaxation plus one round per node.
+	MaxRounds int
+}
+
+// DefaultBoostConfig returns the paper's setting γ1 = 3, γ2 = 2.
+func DefaultBoostConfig() BoostConfig {
+	return BoostConfig{Gamma1: 3, Gamma2: 2}
+}
+
+// RoundTrace records one boosting round for analysis and examples.
+type RoundTrace struct {
+	Round        int
+	Gamma1       int
+	Gamma2       int
+	Executed     int
+	PseudoUses   int // pseudo-labels appearing in this round's prompts
+	KnownEntries int // size of the visible-label set after the round
+}
+
+// Boost executes the query set with Algorithm 2: each round selects the
+// candidate queries whose refreshed neighbor selections carry at least
+// γ1 labels with at most γ2 distinct values, executes them, feeds their
+// pseudo-labels back into the visible-label set, and relaxes (γ1, γ2)
+// whenever no query qualifies. Queries in plan.Prune run without
+// neighbor text (the joint strategy of Section VI-H) but still emit
+// pseudo-labels and still obey the scheduling order.
+//
+// ctx.Known is mutated: executed queries are added with their predicted
+// labels, exactly as the paper expands V_L and Y_L. Callers who need
+// the original map must copy it first.
+func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg BoostConfig) (*Results, []RoundTrace, error) {
+	if err := validatePlan(plan); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Gamma1 < 0 || cfg.Gamma2 < 0 {
+		return nil, nil, fmt.Errorf("core: negative boosting thresholds")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = len(plan.Queries) + len(ctx.Graph.Classes) + cfg.Gamma1 + 8
+	}
+
+	// isPseudo marks labels added during boosting, to count utilization.
+	isPseudo := map[tag.NodeID]bool{}
+
+	pending := append([]tag.NodeID(nil), plan.Queries...)
+	res := &Results{Pred: make(map[tag.NodeID]string, len(pending))}
+	var trace []RoundTrace
+
+	g1, g2 := cfg.Gamma1, cfg.Gamma2
+	relaxG1Next := !cfg.RelaxGamma2First
+	for round := 1; len(pending) > 0; round++ {
+		if round > maxRounds {
+			return nil, nil, fmt.Errorf("core: boosting exceeded %d rounds with %d queries pending", maxRounds, len(pending))
+		}
+
+		// Step 1: candidate selection with refreshed neighbor text,
+		// relaxing thresholds until candidates exist.
+		type cand struct {
+			v   tag.NodeID
+			sel []predictors.Selected
+		}
+		var cands []cand
+		for len(cands) == 0 {
+			for _, v := range pending {
+				var sel []predictors.Selected
+				if !plan.Prune[v] {
+					sel = m.Select(ctx, v)
+				}
+				if predictors.CountLabeled(sel) >= g1 && predictors.LabelConflicts(sel) <= g2 {
+					cands = append(cands, cand{v: v, sel: sel})
+				}
+			}
+			if len(cands) > 0 {
+				break
+			}
+			// Relax alternately; when γ1 hits zero every query
+			// qualifies, so progress is guaranteed.
+			if relaxG1Next && g1 > 0 {
+				g1--
+			} else {
+				g2++
+			}
+			relaxG1Next = !relaxG1Next
+		}
+
+		// Step 2: execute this round's candidates.
+		roundPseudo := 0
+		executedSet := make(map[tag.NodeID]bool, len(cands))
+		type outcome struct {
+			v        tag.NodeID
+			category string
+		}
+		outcomes := make([]outcome, 0, len(cands))
+		for _, c := range cands {
+			for _, s := range c.sel {
+				if s.Label != "" && isPseudo[s.ID] {
+					roundPseudo++
+				}
+			}
+			promptText := predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0)
+			resp, err := p.Query(promptText)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: boosting query for node %d: %w", c.v, err)
+			}
+			if len(c.sel) > 0 {
+				res.Equipped++
+			}
+			res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
+			res.Pred[c.v] = resp.Category
+			outcomes = append(outcomes, outcome{v: c.v, category: resp.Category})
+			executedSet[c.v] = true
+		}
+
+		// Step 3: add pseudo-labels after the whole round, so queries
+		// within one round do not see each other's answers (the rounds
+		// of Algorithm 2 are the units of label propagation).
+		for _, o := range outcomes {
+			ctx.Known[o.v] = o.category
+			isPseudo[o.v] = true
+		}
+		next := pending[:0]
+		for _, v := range pending {
+			if !executedSet[v] {
+				next = append(next, v)
+			}
+		}
+		pending = next
+
+		res.PseudoLabelUses += roundPseudo
+		res.Rounds = round
+		trace = append(trace, RoundTrace{
+			Round: round, Gamma1: g1, Gamma2: g2,
+			Executed: len(outcomes), PseudoUses: roundPseudo,
+			KnownEntries: len(ctx.Known),
+		})
+	}
+	return res, trace, nil
+}
+
+// SchedulePolicy selects the execution-order policy for the Fig. 8
+// pseudo-label-utilization simulation.
+type SchedulePolicy int
+
+const (
+	// ScheduleRandom splits queries into fixed rounds at random — the
+	// paper's "w/o query scheduling" baseline.
+	ScheduleRandom SchedulePolicy = iota
+	// ScheduleGreedy orders each round by descending neighbor-label
+	// count among all unexecuted queries — the paper's "w/ query
+	// scheduling" variant for this experiment (footnote 3: the conflict
+	// threshold is omitted under simulated pseudo-labels).
+	ScheduleGreedy
+)
+
+// String implements fmt.Stringer.
+func (p SchedulePolicy) String() string {
+	switch p {
+	case ScheduleRandom:
+		return "w/o scheduling"
+	case ScheduleGreedy:
+		return "w/ scheduling"
+	default:
+		return fmt.Sprintf("SchedulePolicy(%d)", int(p))
+	}
+}
+
+// SimulateScheduling reproduces the Fig. 8 protocol: execute the
+// queries in `rounds` rounds without any LLM (pseudo-labels are
+// simulated), and count how many times pseudo-labels generated by
+// earlier rounds appear in the neighbor selections of later rounds.
+// ctx.Known is restored before returning.
+func SimulateScheduling(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, rounds int, policy SchedulePolicy, seed uint64) (utilization int) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	// Preserve and restore the caller's label map.
+	saved := make(map[tag.NodeID]string, len(ctx.Known))
+	for k, v := range ctx.Known {
+		saved[k] = v
+	}
+	defer func() { ctx.Known = saved }()
+	working := make(map[tag.NodeID]string, len(saved))
+	for k, v := range saved {
+		working[k] = v
+	}
+	ctx.Known = working
+
+	isPseudo := map[tag.NodeID]bool{}
+	pending := append([]tag.NodeID(nil), queries...)
+	perRound := (len(pending) + rounds - 1) / rounds
+	if perRound == 0 {
+		perRound = 1
+	}
+
+	rng := newSeeded(seed, "core/schedule")
+	if policy == ScheduleRandom {
+		rng.Shuffle(len(pending), func(i, j int) { pending[i], pending[j] = pending[j], pending[i] })
+	}
+
+	for len(pending) > 0 {
+		// Refresh selections for all unexecuted queries.
+		sels := make(map[tag.NodeID][]predictors.Selected, len(pending))
+		for _, v := range pending {
+			sels[v] = m.Select(ctx, v)
+		}
+		if policy == ScheduleGreedy {
+			sort.SliceStable(pending, func(i, j int) bool {
+				li := predictors.CountLabeled(sels[pending[i]])
+				lj := predictors.CountLabeled(sels[pending[j]])
+				if li != lj {
+					return li > lj
+				}
+				return pending[i] < pending[j]
+			})
+		}
+		n := perRound
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batch := pending[:n]
+		for _, v := range batch {
+			for _, s := range sels[v] {
+				if s.Label != "" && isPseudo[s.ID] {
+					utilization++
+				}
+			}
+		}
+		// Simulated pseudo-labels: ground truth stands in for the LLM
+		// answer; only label presence matters for utilization counting.
+		for _, v := range batch {
+			ctx.Known[v] = ctx.Graph.Classes[ctx.Graph.Nodes[v].Label]
+			isPseudo[v] = true
+		}
+		pending = pending[n:]
+	}
+	return utilization
+}

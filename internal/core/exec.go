@@ -1,0 +1,149 @@
+// Package core implements the paper's two multi-query optimization
+// strategies — token pruning (Section V-A, Algorithm 1) and query
+// boosting (Section V-B, Algorithm 2) — together with the execution
+// plans, budget arithmetic and pseudo-label scheduling that tie them to
+// the benchmark methods.
+//
+// Both strategies operate strictly on query prompts: pruning decides
+// which queries omit neighbor text, boosting decides execution order
+// and enriches prompts with pseudo-labels from earlier rounds. Neither
+// touches the predictor itself, so they compose with any Method and any
+// black-box Predictor ("plug-and-play integration", Section V-C).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tag"
+	"repro/internal/token"
+)
+
+// Plan is an executable multi-query plan: which queries run, and which
+// of them omit neighbor text.
+type Plan struct {
+	Queries []tag.NodeID
+	// Prune marks queries whose prompt omits neighbor text entirely.
+	Prune map[tag.NodeID]bool
+}
+
+// Results collects the outcome of executing a plan.
+type Results struct {
+	// Pred maps each executed query to the predicted category name.
+	Pred map[tag.NodeID]string
+	// Meter totals the token usage of the executed queries.
+	Meter token.Meter
+	// Equipped counts queries whose prompt carried neighbor text (the
+	// "# Queries Equip N_i" column of Table VIII).
+	Equipped int
+	// Rounds reports boosting rounds (1 for plain execution).
+	Rounds int
+	// PseudoLabelUses counts selected neighbors whose label was a
+	// pseudo-label from an earlier query (boosting only).
+	PseudoLabelUses int
+}
+
+// Accuracy returns the fraction of predictions matching ground truth.
+func Accuracy(g *tag.Graph, pred map[tag.NodeID]string) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for v, c := range pred {
+		if c == g.Classes[g.Nodes[v].Label] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// ExecuteQuery runs one node query: neighbor selection (skipped when
+// pruned), prompt construction and the LLM call.
+func ExecuteQuery(ctx *predictors.Context, m predictors.Method, p llm.Predictor, v tag.NodeID, pruned bool) (llm.Response, []predictors.Selected, error) {
+	var sel []predictors.Selected
+	if !pruned {
+		sel = m.Select(ctx, v)
+	}
+	promptText := predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0)
+	resp, err := p.Query(promptText)
+	if err != nil {
+		return llm.Response{}, nil, fmt.Errorf("core: query for node %d: %w", v, err)
+	}
+	return resp, sel, nil
+}
+
+// ExecuteQueryVanilla issues a vanilla zero-shot query (no neighbor
+// text) for node v.
+func ExecuteQueryVanilla(ctx *predictors.Context, p llm.Predictor, v tag.NodeID) (llm.Response, error) {
+	resp, err := p.Query(predictors.BuildPrompt(ctx, v, nil, false))
+	if err != nil {
+		return llm.Response{}, fmt.Errorf("core: vanilla query for node %d: %w", v, err)
+	}
+	return resp, nil
+}
+
+// Execute runs a plan in order with no boosting: every query sees only
+// the labels present in ctx.Known at the start (the paper's baseline
+// execution mode).
+func Execute(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan) (*Results, error) {
+	res := &Results{Pred: make(map[tag.NodeID]string, len(plan.Queries)), Rounds: 1}
+	for _, v := range plan.Queries {
+		pruned := plan.Prune[v]
+		resp, sel, err := ExecuteQuery(ctx, m, p, v, pruned)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) > 0 {
+			res.Equipped++
+		}
+		res.Pred[v] = resp.Category
+		res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
+	}
+	return res, nil
+}
+
+// TauForBudget computes the pruning fraction τ ∈ [0, 1] implied by a
+// token budget B (Section V-C1): B = τ·|V_Q|·(T_v − T_N) + (1−τ)·|V_Q|·T_v,
+// where T_v is the mean tokens of a full query and T_N the mean tokens
+// of its neighbor text. The result is clamped to [0, 1]: budgets above
+// full cost need no pruning, budgets below the all-pruned cost cannot
+// be met and yield τ = 1.
+func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor float64) float64 {
+	if numQueries <= 0 || tokensNeighbor <= 0 {
+		return 0
+	}
+	n := float64(numQueries)
+	tau := (n*tokensPerQuery - budget) / (n * tokensNeighbor)
+	if tau < 0 {
+		return 0
+	}
+	if tau > 1 {
+		return 1
+	}
+	return tau
+}
+
+// EstimateQueryTokens estimates the mean total prompt tokens and mean
+// neighbor-text tokens per query for the given context/method by
+// building (but not executing) the prompts of a sample of queries. It
+// implements the paper's footnote that both averages "can be estimated
+// through statistical analysis or approximation".
+func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int) (perQuery, perNeighborText float64) {
+	if len(queries) == 0 {
+		return 0, 0
+	}
+	if sample <= 0 || sample > len(queries) {
+		sample = len(queries)
+	}
+	var full, bare float64
+	for _, v := range queries[:sample] {
+		sel := m.Select(ctx, v)
+		withNb := predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0)
+		vanilla := predictors.BuildPrompt(ctx, v, nil, false)
+		full += float64(token.Count(withNb))
+		bare += float64(token.Count(vanilla))
+	}
+	n := float64(sample)
+	return full / n, (full - bare) / n
+}

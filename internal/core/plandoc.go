@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/tag"
+)
+
+// Plan persistence: an execution plan serializes to a versioned JSON
+// document so a planning phase (possibly expensive — it fits the
+// inadequacy measure) can run once and its plan be audited, diffed and
+// executed later or elsewhere.
+
+// planDocFormat is bumped on breaking schema changes.
+const planDocFormat = 1
+
+// planDoc is the on-disk representation of a Plan.
+type planDoc struct {
+	Format  int          `json:"format"`
+	Queries []tag.NodeID `json:"queries"`
+	Pruned  []tag.NodeID `json:"pruned,omitempty"`
+}
+
+// SavePlan writes the plan as one JSON document. The pruned set is
+// stored sorted for stable diffs.
+func SavePlan(w io.Writer, plan Plan) error {
+	if err := validatePlan(plan); err != nil {
+		return err
+	}
+	doc := planDoc{Format: planDocFormat, Queries: plan.Queries}
+	for v := range plan.Prune {
+		if plan.Prune[v] {
+			doc.Pruned = append(doc.Pruned, v)
+		}
+	}
+	sort.Slice(doc.Pruned, func(i, j int) bool { return doc.Pruned[i] < doc.Pruned[j] })
+	return json.NewEncoder(w).Encode(&doc)
+}
+
+// LoadPlan reads a plan written by SavePlan and validates it: known
+// format, no duplicate queries, pruned ⊆ queries.
+func LoadPlan(r io.Reader) (Plan, error) {
+	var doc planDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return Plan{}, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	if doc.Format != planDocFormat {
+		return Plan{}, fmt.Errorf("core: plan format %d not supported (want %d)", doc.Format, planDocFormat)
+	}
+	plan := Plan{Queries: doc.Queries, Prune: make(map[tag.NodeID]bool, len(doc.Pruned))}
+	inQueries := make(map[tag.NodeID]bool, len(doc.Queries))
+	for _, v := range doc.Queries {
+		if inQueries[v] {
+			return Plan{}, fmt.Errorf("core: plan has duplicate query %d", v)
+		}
+		inQueries[v] = true
+	}
+	for _, v := range doc.Pruned {
+		if !inQueries[v] {
+			return Plan{}, fmt.Errorf("core: plan prunes node %d which it does not query", v)
+		}
+		plan.Prune[v] = true
+	}
+	if err := validatePlan(plan); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}

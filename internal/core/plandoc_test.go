@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/predictors"
+	"repro/internal/tag"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	plan := Plan{
+		Queries: []tag.NodeID{9, 3, 7, 1, 5},
+		Prune:   map[tag.NodeID]bool{3: true, 5: true},
+	}
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Queries) != len(plan.Queries) {
+		t.Fatalf("queries %d -> %d", len(plan.Queries), len(loaded.Queries))
+	}
+	for i := range plan.Queries {
+		if loaded.Queries[i] != plan.Queries[i] {
+			t.Fatal("query order changed — boosting depends on it")
+		}
+	}
+	if len(loaded.Prune) != 2 || !loaded.Prune[3] || !loaded.Prune[5] {
+		t.Fatalf("pruned set changed: %v", loaded.Prune)
+	}
+}
+
+func TestPlanRoundTripStable(t *testing.T) {
+	plan := Plan{
+		Queries: []tag.NodeID{4, 2, 8, 6},
+		Prune:   map[tag.NodeID]bool{8: true, 2: true},
+	}
+	var a, b bytes.Buffer
+	if err := SavePlan(&a, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePlan(&b, plan); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("plan serialization not deterministic (map order leaked)")
+	}
+}
+
+func TestLoadPlanRejectsBadDocs(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "garbage"},
+		{"wrong format", `{"format":9,"queries":[1]}`},
+		{"duplicate query", `{"format":1,"queries":[1,1]}`},
+		{"prune outside queries", `{"format":1,"queries":[1,2],"pruned":[3]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadPlan(strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+	// SavePlan refuses invalid plans too.
+	bad := Plan{Queries: []tag.NodeID{1, 1}}
+	if err := SavePlan(&bytes.Buffer{}, bad); err == nil {
+		t.Error("SavePlan accepted a duplicate query")
+	}
+}
+
+// TestPlanExecutesIdenticallyAfterRoundTrip: saving and loading a plan
+// must not change what executes.
+func TestPlanExecutesIdenticallyAfterRoundTrip(t *testing.T) {
+	f := newFixture(t, 400, 80, 61)
+	iq, err := FitInadequacy(f.g, f.split.Labeled, f.sim, "paper", fastInadequacy(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PrunePlan(iq, f.g, f.split.Query, 0.25)
+
+	var buf bytes.Buffer
+	if err := SavePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := predictors.KHopRandom{K: 1}
+	a, err := Execute(f.freshCtx(), m, f.sim, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(f.freshCtx(), m, f.sim, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range a.Pred {
+		if b.Pred[v] != c {
+			t.Fatalf("node %d predicted %q from original plan, %q from loaded", v, c, b.Pred[v])
+		}
+	}
+	if a.Meter.Total() != b.Meter.Total() {
+		t.Errorf("token totals differ: %d vs %d", a.Meter.Total(), b.Meter.Total())
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tag"
+)
+
+// --- TauForBudget properties -----------------------------------------
+
+// TestTauForBudgetProperties: τ is always in [0,1], monotonically
+// non-increasing in the budget, and inverts the Section V-C cost
+// equation inside the feasible band.
+func TestTauForBudgetProperties(t *testing.T) {
+	f := func(rawBudget, rawNeighbor uint16, rawQueries uint8) bool {
+		n := int(rawQueries%200) + 1
+		perNeighbor := float64(rawNeighbor%400) + 1
+		perQuery := perNeighbor + 100 // full query always costs more
+		budget := float64(rawBudget)
+
+		tau := TauForBudget(budget, n, perQuery, perNeighbor)
+		if tau < 0 || tau > 1 || math.IsNaN(tau) {
+			return false
+		}
+		// Monotonic: more budget never prunes more.
+		if TauForBudget(budget+500, n, perQuery, perNeighbor) > tau {
+			return false
+		}
+		// Inside the feasible band the equation holds exactly.
+		if tau > 0 && tau < 1 {
+			cost := tau*float64(n)*(perQuery-perNeighbor) + (1-tau)*float64(n)*perQuery
+			if math.Abs(cost-budget) > 1e-6*budget+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTauForBudgetEndpoints(t *testing.T) {
+	// Budget >= full cost: nothing pruned.
+	if tau := TauForBudget(1e12, 100, 500, 100); tau != 0 {
+		t.Errorf("huge budget: τ=%v, want 0", tau)
+	}
+	// Budget of zero: everything pruned (and still maybe infeasible).
+	if tau := TauForBudget(0, 100, 500, 100); tau != 1 {
+		t.Errorf("zero budget: τ=%v, want 1", tau)
+	}
+	// Degenerate inputs never panic and return 0.
+	if tau := TauForBudget(100, 0, 500, 100); tau != 0 {
+		t.Errorf("no queries: τ=%v, want 0", tau)
+	}
+	if tau := TauForBudget(100, 10, 500, 0); tau != 0 {
+		t.Errorf("no neighbor tokens: τ=%v, want 0", tau)
+	}
+}
+
+// --- Plan construction properties ------------------------------------
+
+// TestPrunePlanProperties: for any τ, the plan executes every query
+// exactly once, prunes round(τ·|Q|) of them, and the pruned set is a
+// prefix of the inadequacy ranking (the most saturated queries).
+func TestPrunePlanProperties(t *testing.T) {
+	fx := newFixture(t, 400, 120, 21)
+	iq, err := FitInadequacy(fx.g, fx.split.Labeled, fx.sim, "paper", DefaultInadequacyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, scores := iq.Rank(fx.g, fx.split.Query)
+	if len(order) != len(fx.split.Query) || len(scores) != len(order) {
+		t.Fatalf("Rank sizes: order=%d scores=%d queries=%d", len(order), len(scores), len(fx.split.Query))
+	}
+	ordered := make([]float64, len(order))
+	for i, v := range order {
+		ordered[i] = scores[v]
+	}
+	if !sort.Float64sAreSorted(ordered) {
+		t.Fatal("Rank scores not ascending along the returned order")
+	}
+
+	for _, tau := range []float64{-0.5, 0, 0.1, 0.25, 0.5, 0.99, 1, 2} {
+		plan := PrunePlan(iq, fx.g, fx.split.Query, tau)
+		clamped := math.Min(1, math.Max(0, tau))
+		wantPruned := int(clamped*float64(len(order)) + 0.5)
+		if len(plan.Prune) != wantPruned {
+			t.Errorf("τ=%v: pruned %d, want %d", tau, len(plan.Prune), wantPruned)
+		}
+		// Same multiset of queries.
+		if len(plan.Queries) != len(fx.split.Query) {
+			t.Fatalf("τ=%v: plan has %d queries, want %d", tau, len(plan.Queries), len(fx.split.Query))
+		}
+		seen := map[tag.NodeID]bool{}
+		for _, v := range plan.Queries {
+			if seen[v] {
+				t.Fatalf("τ=%v: duplicate query %d", tau, v)
+			}
+			seen[v] = true
+		}
+		// Pruned = the wantPruned lowest-score prefix.
+		for i, v := range order {
+			if (i < wantPruned) != plan.Prune[v] {
+				t.Fatalf("τ=%v: rank %d (node %d) prune flag mismatch", tau, i, v)
+			}
+		}
+	}
+}
+
+func TestRandomPrunePlanProperties(t *testing.T) {
+	queries := make([]tag.NodeID, 173)
+	for i := range queries {
+		queries[i] = tag.NodeID(i * 3)
+	}
+	f := func(rawTau uint8, seed uint64) bool {
+		tau := float64(rawTau) / 255
+		plan := RandomPrunePlan(queries, tau, seed)
+		want := int(tau*float64(len(queries)) + 0.5)
+		if len(plan.Prune) != want {
+			return false
+		}
+		// Determinism: same seed, same choice.
+		again := RandomPrunePlan(queries, tau, seed)
+		if len(again.Prune) != len(plan.Prune) {
+			return false
+		}
+		for v := range plan.Prune {
+			if !again.Prune[v] {
+				return false
+			}
+		}
+		// Pruned nodes must come from the query set.
+		in := map[tag.NodeID]bool{}
+		for _, v := range queries {
+			in[v] = true
+		}
+		for v := range plan.Prune {
+			if !in[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Boosting invariants ----------------------------------------------
+
+// TestBoostExecutionInvariants: every query executes exactly once, no
+// labeled node is ever re-queried, pseudo-labels only ever grow the
+// visible set, and round indices are dense.
+func TestBoostExecutionInvariants(t *testing.T) {
+	fx := newFixture(t, 500, 150, 31)
+	originalKnown := len(fx.ctx.Known)
+	plan := Plan{Queries: fx.split.Query}
+	res, trace, err := Boost(fx.ctx, predictors.KHopRandom{K: 2}, fx.sim, plan, DefaultBoostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pred) != len(fx.split.Query) {
+		t.Fatalf("predicted %d of %d queries", len(res.Pred), len(fx.split.Query))
+	}
+	executed := 0
+	for i, r := range trace {
+		if r.Round != i+1 {
+			t.Errorf("round indices not dense: trace[%d].Round=%d", i, r.Round)
+		}
+		if r.Executed <= 0 {
+			t.Errorf("round %d executed nothing", r.Round)
+		}
+		executed += r.Executed
+	}
+	if executed != len(fx.split.Query) {
+		t.Errorf("rounds executed %d total, want %d", executed, len(fx.split.Query))
+	}
+	if want := originalKnown + len(fx.split.Query); len(fx.ctx.Known) != want {
+		t.Errorf("visible set = %d entries after boosting, want %d", len(fx.ctx.Known), want)
+	}
+	// Every query's pseudo-label landed in Known and matches Pred.
+	for _, v := range fx.split.Query {
+		if fx.ctx.Known[v] != res.Pred[v] {
+			t.Fatalf("node %d: Known=%q Pred=%q", v, fx.ctx.Known[v], res.Pred[v])
+		}
+	}
+	// γ thresholds never relax below their floor within the trace.
+	for _, r := range trace {
+		if r.Gamma1 < 0 || r.Gamma2 > len(fx.g.Classes)+1 {
+			t.Errorf("round %d relaxed beyond sane bounds: γ1=%d γ2=%d", r.Round, r.Gamma1, r.Gamma2)
+		}
+	}
+}
+
+// --- Failure injection ------------------------------------------------
+
+// flaky fails on the k-th query and afterwards.
+type flaky struct {
+	inner llm.Predictor
+	after int
+	n     int
+}
+
+func (f *flaky) Name() string { return "flaky" }
+
+func (f *flaky) Query(p string) (llm.Response, error) {
+	f.n++
+	if f.n > f.after {
+		return llm.Response{}, fmt.Errorf("injected outage on call %d", f.n)
+	}
+	return f.inner.Query(p)
+}
+
+func TestExecutePropagatesPredictorFailure(t *testing.T) {
+	fx := newFixture(t, 300, 60, 41)
+	p := &flaky{inner: fx.sim, after: 10}
+	_, err := Execute(fx.ctx, predictors.KHopRandom{K: 1}, p, Plan{Queries: fx.split.Query})
+	if err == nil {
+		t.Fatal("mid-batch predictor failure not propagated")
+	}
+	if !strings.Contains(err.Error(), "injected outage") {
+		t.Errorf("error %q lost the cause", err)
+	}
+}
+
+func TestBoostPropagatesPredictorFailure(t *testing.T) {
+	fx := newFixture(t, 300, 60, 43)
+	p := &flaky{inner: fx.sim, after: 5}
+	_, _, err := Boost(fx.ctx, predictors.KHopRandom{K: 1}, p, Plan{Queries: fx.split.Query}, DefaultBoostConfig())
+	if err == nil {
+		t.Fatal("mid-round predictor failure not propagated")
+	}
+	var wrapped error = err
+	for wrapped != nil {
+		if strings.Contains(wrapped.Error(), "injected outage") {
+			return
+		}
+		wrapped = errors.Unwrap(wrapped)
+	}
+	t.Errorf("error %q lost the cause", err)
+}
+
+func TestFitInadequacyPropagatesPredictorFailure(t *testing.T) {
+	fx := newFixture(t, 300, 60, 47)
+	p := &flaky{inner: fx.sim, after: 0}
+	if _, err := FitInadequacy(fx.g, fx.split.Labeled, p, "paper", DefaultInadequacyConfig()); err == nil {
+		t.Fatal("calibration failure not propagated")
+	}
+}

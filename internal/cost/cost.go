@@ -1,0 +1,123 @@
+// Package cost converts token counts into money. It encodes the
+// public per-token prices the paper's introduction argues from ("a
+// single query would cost at least $0.0006 … 10 million queries would
+// cost at least $6,000, while using GPT-4 would increase the cost to
+// $360,000") and produces cost reports for executed plans, so the token
+// savings of the optimization strategies can be read in dollars.
+package cost
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/token"
+)
+
+// Pricing is a model's price per 1,000 tokens, in USD.
+type Pricing struct {
+	Model       string
+	InputPer1K  float64
+	OutputPer1K float64
+}
+
+// The price points used by the paper's introduction (USD per 1K
+// tokens; GPT-3.5 input at $0.0005 is the figure its arithmetic uses).
+var builtin = []Pricing{
+	{Model: "gpt-3.5-turbo", InputPer1K: 0.0005, OutputPer1K: 0.0015},
+	{Model: "gpt-4", InputPer1K: 0.03, OutputPer1K: 0.06},
+	{Model: "gpt-4o-mini", InputPer1K: 0.00015, OutputPer1K: 0.0006},
+}
+
+// Models lists the built-in pricing table's model names.
+func Models() []string {
+	out := make([]string, len(builtin))
+	for i, p := range builtin {
+		out[i] = p.Model
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a built-in pricing entry.
+func Lookup(model string) (Pricing, error) {
+	for _, p := range builtin {
+		if p.Model == model {
+			return p, nil
+		}
+	}
+	return Pricing{}, fmt.Errorf("cost: unknown model %q (known: %v)", model, Models())
+}
+
+// Cost returns the USD cost of the given token counts.
+func (p Pricing) Cost(inputTokens, outputTokens int) float64 {
+	return float64(inputTokens)/1000*p.InputPer1K + float64(outputTokens)/1000*p.OutputPer1K
+}
+
+// MeterCost prices a token meter.
+func (p Pricing) MeterCost(m token.Meter) float64 {
+	return p.Cost(m.InputTokens(), m.OutputTokens())
+}
+
+// Report compares an optimized execution against its baseline in
+// dollars.
+type Report struct {
+	Model           string
+	BaselineUSD     float64
+	OptimizedUSD    float64
+	SavedUSD        float64
+	SavedFraction   float64
+	BaselineTokens  int
+	OptimizedTokens int
+}
+
+// Compare builds a report from two meters.
+func Compare(p Pricing, baseline, optimized token.Meter) Report {
+	b := p.MeterCost(baseline)
+	o := p.MeterCost(optimized)
+	r := Report{
+		Model:           p.Model,
+		BaselineUSD:     b,
+		OptimizedUSD:    o,
+		SavedUSD:        b - o,
+		BaselineTokens:  baseline.Total(),
+		OptimizedTokens: optimized.Total(),
+	}
+	if b > 0 {
+		r.SavedFraction = (b - o) / b
+	}
+	return r
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: baseline $%.4f (%d tokens) -> optimized $%.4f (%d tokens), saved $%.4f (%.1f%%)",
+		r.Model, r.BaselineUSD, r.BaselineTokens, r.OptimizedUSD, r.OptimizedTokens,
+		r.SavedUSD, 100*r.SavedFraction)
+}
+
+// Projection scales a measured per-query cost to a deployment-sized
+// workload — the paper's industrial-scale argument.
+type Projection struct {
+	Model        string
+	Queries      int64
+	TokensPerQry float64
+	TotalTokens  float64
+	TotalUSD     float64
+}
+
+// Project estimates the cost of running `queries` queries averaging
+// tokensPerQuery input tokens (output tokens are a rounding error at
+// the paper's scale and are ignored, matching its arithmetic).
+func Project(p Pricing, queries int64, tokensPerQuery float64) (Projection, error) {
+	if queries < 0 || tokensPerQuery < 0 {
+		return Projection{}, fmt.Errorf("cost: negative projection input (%d queries, %.1f tokens)", queries, tokensPerQuery)
+	}
+	total := float64(queries) * tokensPerQuery
+	return Projection{
+		Model:        p.Model,
+		Queries:      queries,
+		TokensPerQry: tokensPerQuery,
+		TotalTokens:  total,
+		TotalUSD:     total / 1000 * p.InputPer1K,
+	}, nil
+}

@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/token"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestIntroArithmetic reproduces the paper's introduction numbers: a
+// 1,200-token query costs at least $0.0006 on GPT-3.5; 10 million such
+// queries cost at least $6,000; GPT-4 raises that to $360,000.
+func TestIntroArithmetic(t *testing.T) {
+	gpt35, err := Lookup("gpt-3.5-turbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gpt35.Cost(1200, 0); !almost(got, 0.0006, 1e-12) {
+		t.Errorf("single query = $%v, want $0.0006", got)
+	}
+	proj, err := Project(gpt35, 10_000_000, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(proj.TotalUSD, 6000, 1e-6) {
+		t.Errorf("10M GPT-3.5 queries = $%v, want $6,000", proj.TotalUSD)
+	}
+	gpt4, err := Lookup("gpt-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj4, err := Project(gpt4, 10_000_000, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(proj4.TotalUSD, 360000, 1e-6) {
+		t.Errorf("10M GPT-4 queries = $%v, want $360,000", proj4.TotalUSD)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("gpt-99"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if len(Models()) != 3 {
+		t.Errorf("Models() = %v, want 3 entries", Models())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	p, _ := Lookup("gpt-3.5-turbo")
+	var base, opt token.Meter
+	base.AddQuery(100_000, 1000)
+	opt.AddQuery(80_000, 1000)
+	r := Compare(p, base, opt)
+	if r.SavedUSD <= 0 {
+		t.Errorf("saved $%v, want > 0", r.SavedUSD)
+	}
+	wantBase := 100.0*0.0005 + 1.0*0.0015
+	if !almost(r.BaselineUSD, wantBase, 1e-9) {
+		t.Errorf("baseline $%v, want $%v", r.BaselineUSD, wantBase)
+	}
+	if !strings.Contains(r.String(), "saved") {
+		t.Errorf("report string %q unreadable", r.String())
+	}
+	// Zero baseline: no division by zero.
+	var zero token.Meter
+	if r := Compare(p, zero, zero); r.SavedFraction != 0 {
+		t.Errorf("zero baseline produced fraction %v", r.SavedFraction)
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	p, _ := Lookup("gpt-4")
+	if _, err := Project(p, -1, 100); err == nil {
+		t.Error("negative queries accepted")
+	}
+	if _, err := Project(p, 1, -100); err == nil {
+		t.Error("negative tokens accepted")
+	}
+}
+
+// TestCostProperties: cost is non-negative, monotone in tokens, and
+// linear in query count.
+func TestCostProperties(t *testing.T) {
+	p, _ := Lookup("gpt-3.5-turbo")
+	f := func(in, out uint16) bool {
+		c := p.Cost(int(in), int(out))
+		c2 := p.Cost(int(in)+100, int(out))
+		return c >= 0 && c2 >= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(q uint16) bool {
+		a, err1 := Project(p, int64(q), 500)
+		b, err2 := Project(p, 2*int64(q), 500)
+		return err1 == nil && err2 == nil && almost(b.TotalUSD, 2*a.TotalUSD, 1e-9)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

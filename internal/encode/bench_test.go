@@ -1,0 +1,47 @@
+package encode
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCorpus synthesizes a deterministic corpus shaped like node
+// texts (~100 words each).
+func benchCorpus(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		s := ""
+		for w := 0; w < 100; w++ {
+			s += fmt.Sprintf("word%d ", (i*31+w*7)%500)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// BenchmarkNewTFIDF measures vocabulary construction over a
+// 1,000-document corpus (done once per dataset).
+func BenchmarkNewTFIDF(b *testing.B) {
+	corpus := benchCorpus(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if NewTFIDF(corpus, 256) == nil {
+			b.Fatal("nil encoder")
+		}
+	}
+}
+
+// BenchmarkEncode measures per-document encoding (done once per node
+// by the surrogate classifier).
+func BenchmarkEncode(b *testing.B) {
+	corpus := benchCorpus(200)
+	enc := NewTFIDF(corpus, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(enc.Encode(corpus[i%len(corpus)])) == 0 {
+			b.Fatal("empty vector")
+		}
+	}
+}

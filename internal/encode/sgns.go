@@ -1,0 +1,323 @@
+package encode
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Skip-gram with negative sampling (SGNS), the shallow embedding
+// technique the paper cites alongside BoW as the classical way to
+// encode node text attributes (Section II-A, [38]). Implemented from
+// scratch: a frequency-cut vocabulary, a unigram^0.75 negative-sampling
+// table, SGD over (center, context) pairs, and document encoding by
+// averaging word vectors. Deterministic for a given seed.
+
+// SGNSConfig tunes skip-gram training.
+type SGNSConfig struct {
+	// Dim is the embedding width (default 64).
+	Dim int
+	// Window is the max context distance (default 4).
+	Window int
+	// Negatives per positive pair (default 5).
+	Negatives int
+	// Epochs over the corpus (default 3).
+	Epochs int
+	// LR is the (linearly decayed) starting learning rate
+	// (default 0.025).
+	LR float64
+	// MaxVocab caps the vocabulary at the most frequent words
+	// (default 4096).
+	MaxVocab int
+	// Seed drives initialization, windowing and negative sampling.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c SGNSConfig) withDefaults() SGNSConfig {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LR <= 0 {
+		c.LR = 0.025
+	}
+	if c.MaxVocab <= 0 {
+		c.MaxVocab = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SGNS is a trained skip-gram embedding model.
+type SGNS struct {
+	dim    int
+	index  map[string]int
+	vecs   [][]float64 // input vectors, one per vocabulary word
+	freq   []float64   // corpus frequency p(w) per vocabulary word
+	common []float64   // unit common direction of corpus doc embeddings
+}
+
+// NewSGNS trains skip-gram embeddings on the corpus.
+func NewSGNS(corpus []string, cfg SGNSConfig) *SGNS {
+	cfg = cfg.withDefaults()
+	rng := xrand.New(cfg.Seed).SplitString("encode/sgns")
+
+	// Vocabulary: most frequent words first.
+	counts := map[string]int{}
+	docs := make([][]string, len(corpus))
+	for i, doc := range corpus {
+		docs[i] = strings.Fields(doc)
+		for _, w := range docs[i] {
+			counts[w]++
+		}
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > cfg.MaxVocab {
+		all = all[:cfg.MaxVocab]
+	}
+	index := make(map[string]int, len(all))
+	for i, e := range all {
+		index[e.w] = i
+	}
+	v := len(all)
+	m := &SGNS{dim: cfg.Dim, index: index, vecs: make([][]float64, v), freq: make([]float64, v)}
+	if v == 0 {
+		return m
+	}
+	var corpusTokens float64
+	for _, e := range all {
+		corpusTokens += float64(e.c)
+	}
+	for i, e := range all {
+		m.freq[i] = float64(e.c) / corpusTokens
+	}
+
+	// Negative-sampling table: unigram frequency ^ 0.75.
+	const tableSize = 1 << 16
+	table := make([]int32, tableSize)
+	var powSum float64
+	pows := make([]float64, v)
+	for i, e := range all {
+		pows[i] = math.Pow(float64(e.c), 0.75)
+		powSum += pows[i]
+	}
+	{
+		i, cum := 0, pows[0]/powSum
+		for t := 0; t < tableSize; t++ {
+			table[t] = int32(i)
+			if float64(t)/tableSize > cum && i < v-1 {
+				i++
+				cum += pows[i] / powSum
+			}
+		}
+	}
+
+	// Init: small random input vectors, zero output vectors.
+	out := make([][]float64, v)
+	for i := range m.vecs {
+		vec := make([]float64, cfg.Dim)
+		for d := range vec {
+			vec[d] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+		}
+		m.vecs[i] = vec
+		out[i] = make([]float64, cfg.Dim)
+	}
+
+	// Encode documents as word-ID sequences once, subsampling frequent
+	// words (word2vec's t-threshold): without this, ubiquitous filler
+	// words dominate every context window and all vectors collapse
+	// into one direction.
+	const subsampleT = 1e-3
+	keepProb := make([]float64, v)
+	for i := range keepProb {
+		keepProb[i] = 1
+		if f := m.freq[i]; f > subsampleT {
+			keepProb[i] = math.Sqrt(subsampleT / f)
+		}
+	}
+	ids := make([][]int32, len(docs))
+	totalTokens := 0
+	for i, doc := range docs {
+		seq := make([]int32, 0, len(doc))
+		for _, w := range doc {
+			if id, ok := index[w]; ok && rng.Float64() < keepProb[id] {
+				seq = append(seq, int32(id))
+			}
+		}
+		ids[i] = seq
+		totalTokens += len(seq)
+	}
+
+	sigmoid := func(x float64) float64 {
+		if x > 8 {
+			return 1
+		}
+		if x < -8 {
+			return 0
+		}
+		return 1 / (1 + math.Exp(-x))
+	}
+
+	steps := 0
+	totalSteps := cfg.Epochs * totalTokens
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, seq := range ids {
+			for pos, center := range seq {
+				steps++
+				lr := cfg.LR * (1 - float64(steps)/float64(totalSteps+1))
+				if lr < cfg.LR*0.01 {
+					lr = cfg.LR * 0.01
+				}
+				win := 1 + rng.Intn(cfg.Window)
+				lo, hi := pos-win, pos+win
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(seq) {
+					hi = len(seq) - 1
+				}
+				cv := m.vecs[center]
+				for p := lo; p <= hi; p++ {
+					if p == pos {
+						continue
+					}
+					for d := range grad {
+						grad[d] = 0
+					}
+					// One positive + Negatives negative updates.
+					for s := 0; s <= cfg.Negatives; s++ {
+						var target int32
+						var label float64
+						if s == 0 {
+							target, label = seq[p], 1
+						} else {
+							target = table[rng.Intn(tableSize)]
+							if target == seq[p] {
+								continue
+							}
+						}
+						ov := out[target]
+						var dot float64
+						for d := range cv {
+							dot += cv[d] * ov[d]
+						}
+						g := lr * (label - sigmoid(dot))
+						for d := range cv {
+							grad[d] += g * ov[d]
+							ov[d] += g * cv[d]
+						}
+					}
+					for d := range cv {
+						cv[d] += grad[d]
+					}
+				}
+			}
+		}
+	}
+
+	// SIF common-component: every weighted-average document embedding
+	// shares one dominant direction (the corpus mean); subtracting it
+	// is what exposes the class-discriminative residual. Approximate
+	// the first principal component by the normalized corpus mean.
+	mean := make([]float64, cfg.Dim)
+	for _, doc := range corpus {
+		raw := m.rawEncode(doc)
+		for d := range mean {
+			mean[d] += raw[d]
+		}
+	}
+	normalize(mean)
+	m.common = mean
+	return m
+}
+
+// Dim returns the embedding width.
+func (m *SGNS) Dim() int { return m.dim }
+
+// Vector returns the embedding of a word, or nil if out of vocabulary.
+// The returned slice is shared; callers must not modify it.
+func (m *SGNS) Vector(word string) []float64 {
+	if id, ok := m.index[word]; ok {
+		return m.vecs[id]
+	}
+	return nil
+}
+
+// Encode embeds a document as the L2-normalized SIF-weighted average
+// of its word vectors: each word is weighted a/(a+p(w)) so rare,
+// informative words dominate ubiquitous filler (Arora et al.'s smooth
+// inverse frequency). Out-of-vocabulary words are skipped; an all-OOV
+// document encodes to the zero vector.
+func (m *SGNS) Encode(text string) []float64 {
+	sum := m.rawEncode(text)
+	if m.common != nil {
+		var proj float64
+		for d := range sum {
+			proj += sum[d] * m.common[d]
+		}
+		for d := range sum {
+			sum[d] -= proj * m.common[d]
+		}
+	}
+	normalize(sum)
+	return sum
+}
+
+// rawEncode is the SIF-weighted average before common-component
+// removal and normalization.
+func (m *SGNS) rawEncode(text string) []float64 {
+	const a = 1e-3
+	sum := make([]float64, m.dim)
+	var total float64
+	for _, w := range strings.Fields(text) {
+		id, ok := m.index[w]
+		if !ok {
+			continue
+		}
+		weight := a / (a + m.freq[id])
+		vec := m.vecs[id]
+		for d := range sum {
+			sum[d] += weight * vec[d]
+		}
+		total += weight
+	}
+	if total > 0 {
+		for d := range sum {
+			sum[d] /= total
+		}
+	}
+	return sum
+}
+
+// Similarity is the cosine similarity of two documents under the
+// embedding.
+func (m *SGNS) Similarity(a, b string) float64 {
+	return Cosine(m.Encode(a), m.Encode(b))
+}

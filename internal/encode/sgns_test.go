@@ -1,0 +1,133 @@
+package encode
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+// sgnsCorpus builds a small class-structured corpus from the Cora
+// generator so embeddings have real signal to find.
+func sgnsCorpus(t testing.TB, nodes int) (*tag.Graph, []string) {
+	t.Helper()
+	spec, err := tag.SmallSpec("cora", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 21, tag.Options{})
+	corpus := make([]string, g.NumNodes())
+	for i := range corpus {
+		corpus[i] = g.Text(tag.NodeID(i))
+	}
+	return g, corpus
+}
+
+func TestSGNSSameClassCloserThanCrossClass(t *testing.T) {
+	g, corpus := sgnsCorpus(t, 500)
+	m := NewSGNS(corpus, SGNSConfig{Dim: 48, Epochs: 3, Seed: 3})
+
+	// Compare mean cosine similarity within vs across classes over
+	// clear-text (saturated, non-noisy) nodes.
+	rng := xrand.New(7)
+	var same, cross float64
+	var sameN, crossN int
+	clear := make([]tag.NodeID, 0, g.NumNodes())
+	for i, n := range g.Nodes {
+		if !n.Noisy && n.Ambiguity < 0.3 {
+			clear = append(clear, tag.NodeID(i))
+		}
+	}
+	for trial := 0; trial < 600; trial++ {
+		a := clear[rng.Intn(len(clear))]
+		b := clear[rng.Intn(len(clear))]
+		if a == b {
+			continue
+		}
+		sim := Cosine(m.Encode(corpus[a]), m.Encode(corpus[b]))
+		if g.Nodes[a].Label == g.Nodes[b].Label {
+			same += sim
+			sameN++
+		} else {
+			cross += sim
+			crossN++
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Fatal("degenerate sampling")
+	}
+	sameMean, crossMean := same/float64(sameN), cross/float64(crossN)
+	if sameMean <= crossMean+0.03 {
+		t.Errorf("same-class similarity %.3f not above cross-class %.3f", sameMean, crossMean)
+	}
+}
+
+func TestSGNSDeterministic(t *testing.T) {
+	_, corpus := sgnsCorpus(t, 200)
+	a := NewSGNS(corpus, SGNSConfig{Dim: 16, Epochs: 1, Seed: 9})
+	b := NewSGNS(corpus, SGNSConfig{Dim: 16, Epochs: 1, Seed: 9})
+	va, vb := a.Encode(corpus[0]), b.Encode(corpus[0])
+	for d := range va {
+		if va[d] != vb[d] {
+			t.Fatalf("dim %d diverged across identical trainings: %v vs %v", d, va[d], vb[d])
+		}
+	}
+}
+
+func TestSGNSEncodeProperties(t *testing.T) {
+	_, corpus := sgnsCorpus(t, 200)
+	m := NewSGNS(corpus, SGNSConfig{Dim: 16, Epochs: 1, Seed: 5})
+	v := m.Encode(corpus[3])
+	if len(v) != 16 {
+		t.Fatalf("Encode dim = %d, want 16", len(v))
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-9 {
+		t.Errorf("encoded vector norm %v, want 1", math.Sqrt(norm))
+	}
+	// All-OOV text encodes to zero without panicking.
+	zero := m.Encode("zzzz qqqq totally-unknown-words")
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatal("OOV text should encode to the zero vector")
+		}
+	}
+	if m.Vector("no-such-word") != nil {
+		t.Error("OOV Vector should be nil")
+	}
+	if sim := m.Similarity(corpus[3], corpus[3]); math.Abs(sim-1) > 1e-9 {
+		t.Errorf("self-similarity %v, want 1", sim)
+	}
+}
+
+func TestSGNSVocabCap(t *testing.T) {
+	corpus := make([]string, 50)
+	for i := range corpus {
+		corpus[i] = fmt.Sprintf("common word%d word%d rare%d", i%3, i%5, i)
+	}
+	m := NewSGNS(corpus, SGNSConfig{Dim: 8, Epochs: 1, MaxVocab: 9, Seed: 2})
+	if m.Vector("common") == nil {
+		t.Error("most frequent word missing from capped vocabulary")
+	}
+	inVocab := 0
+	for i := range corpus {
+		if m.Vector(fmt.Sprintf("rare%d", i)) != nil {
+			inVocab++
+		}
+	}
+	if inVocab > 9 {
+		t.Errorf("%d rare words in a 9-word vocabulary", inVocab)
+	}
+}
+
+func TestSGNSEmptyCorpus(t *testing.T) {
+	m := NewSGNS(nil, SGNSConfig{Dim: 8, Seed: 1})
+	if v := m.Encode("anything"); len(v) != 8 {
+		t.Fatalf("empty-corpus Encode dim = %d, want 8", len(v))
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationGamma(t *testing.T) {
+	out, err := runAblationGamma(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"γ1", "γ2", "pseudo-label uses", "Cora"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation-gamma missing %q:\n%s", want, out)
+		}
+	}
+	// 5 × 3 sweep rows.
+	if rows := strings.Count(out, "\n"); rows < 17 {
+		t.Errorf("expected 15 sweep rows, output:\n%s", out)
+	}
+}
+
+func TestAblationEncoder(t *testing.T) {
+	out, err := runAblationEncoder(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TF-IDF", "skip-gram", "bag-of-words", "Cora", "Pubmed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation-encoder missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationM(t *testing.T) {
+	out, err := runAblationM(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cora", "Pubmed", "tokens/query"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation-m missing %q:\n%s", want, out)
+		}
+	}
+}

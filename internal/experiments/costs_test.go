@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostProjection(t *testing.T) {
+	out, err := runCostProjection(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GPT-3.5", "GPT-4", "2,449,029", "$6000", "$360000", "tokens/query"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cost-projection missing %q:\n%s", want, out)
+		}
+	}
+}

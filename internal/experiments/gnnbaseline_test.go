@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGNNBaseline(t *testing.T) {
+	out, err := runGNNBaseline(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cora", "Citeseer", "Pubmed", "GCN", "LabelProp", "SNS", "tokens/query"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gnn-baseline missing %q:\n%s", want, out)
+		}
+	}
+	// Three dataset rows plus header/commentary.
+	if rows := strings.Count(out, "\n"); rows < 8 {
+		t.Errorf("output suspiciously short:\n%s", out)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig2(t *testing.T) {
+	out, err := runFig2(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cora", "Citeseer", "Pubmed", "IG^N", "H(y|t)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 missing %q:\n%s", want, out)
+		}
+	}
+	// Every dataset row must satisfy the bound IG^N <= H(y|t) (Eq. 6):
+	// the last two numeric columns of each row.
+	rowRe := regexp.MustCompile(`(?m)^(Cora|Citeseer|Pubmed)\s.*?(\d+\.\d+)\s+(\d+\.\d+)\s*$`)
+	matches := rowRe.FindAllStringSubmatch(out, -1)
+	if len(matches) != 3 {
+		t.Fatalf("expected 3 dataset rows, found %d:\n%s", len(matches), out)
+	}
+	for _, mrow := range matches {
+		ig, _ := strconv.ParseFloat(mrow[2], 64)
+		hyt, _ := strconv.ParseFloat(mrow[3], 64)
+		if ig > hyt+1e-6 {
+			t.Errorf("%s: IG^N %.3f exceeds H(y|t) %.3f", mrow[1], ig, hyt)
+		}
+		if ig < 0 {
+			t.Errorf("%s: negative information gain %.3f", mrow[1], ig)
+		}
+	}
+}

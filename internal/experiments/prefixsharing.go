@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/predictors"
+	"repro/internal/prefix"
+	"repro/internal/tablefmt"
+)
+
+// runPrefixSharing quantifies the related-work comparison of Section
+// II-C: serving-level shared-prefix MQO ([31–33], [49]) against the
+// paper's graph-aware token pruning on the same batches. Under the
+// Table III template prompts lead with query-specific text, so prefix
+// caching recovers almost nothing; reordering the template (the [49]
+// trick) recovers the boilerplate; pruning removes neighbor text
+// entirely — and the two compose.
+func runPrefixSharing(cfg Config) (string, error) {
+	tbl := tablefmt.New("Serving-level prefix sharing vs graph-aware pruning (1-hop random)",
+		"dataset", "batch tokens", "prefix-shared", "reordered, shared", "20% pruning saves", "prune+reorder")
+	for _, name := range smallNames {
+		d, err := load(name, cfg)
+		if err != nil {
+			return "", errf("prefix-sharing", err)
+		}
+		ctx := d.ctx(cfg)
+		m := predictors.KHopRandom{K: 1}
+
+		buildBatch := func(plan core.Plan) []string {
+			prompts := make([]string, 0, len(plan.Queries))
+			for _, v := range plan.Queries {
+				var sel []predictors.Selected
+				if !plan.Prune[v] {
+					sel = m.Select(ctx, v)
+				}
+				prompts = append(prompts, predictors.BuildPrompt(ctx, v, sel, false))
+			}
+			return prompts
+		}
+
+		full := buildBatch(core.Plan{Queries: d.split.Query})
+		base := prefix.Analyze(full)
+		reordered := prefix.Analyze(prefix.ReorderSharedFirst(full))
+
+		sim := d.sim(gpt35(), cfg)
+		iq, err := d.fitInadequacy(sim, cfg)
+		if err != nil {
+			return "", errf("prefix-sharing", err)
+		}
+		prunedBatch := buildBatch(core.PrunePlan(iq, d.g, d.split.Query, 0.2))
+		pruned := prefix.Analyze(prunedBatch)
+		both := prefix.Analyze(prefix.ReorderSharedFirst(prunedBatch))
+
+		pruneSaves := base.TotalTokens - pruned.TotalTokens
+		bothSaves := base.TotalTokens - (both.TotalTokens - both.SharedTokens)
+		tbl.AddRow(d.spec.Display,
+			tablefmt.Int(int64(base.TotalTokens)),
+			tablefmt.Pct(base.SavedFraction()),
+			tablefmt.Pct(reordered.SavedFraction()),
+			fmt.Sprintf("%s (%.1f%%)", tablefmt.Int(int64(pruneSaves)),
+				100*float64(pruneSaves)/float64(base.TotalTokens)),
+			fmt.Sprintf("%.1f%%", 100*float64(bothSaves)/float64(base.TotalTokens)))
+	}
+
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	b.WriteString("\nPrefix caching needs white-box serving access and only touches the\n")
+	b.WriteString("shared boilerplate; token pruning works on any black-box API and\n")
+	b.WriteString("removes the dominant per-query neighbor text. They compose.\n")
+	return b.String(), nil
+}

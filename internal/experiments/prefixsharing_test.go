@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrefixSharing(t *testing.T) {
+	out, err := runPrefixSharing(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cora", "Citeseer", "Pubmed", "prefix-shared", "prune+reorder"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prefix-sharing missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package gnn
+
+import "testing"
+
+// BenchmarkTrainGCN measures a full training run on a quarter-scale
+// Cora — the cost a GNN pays up front that the LLM paradigm avoids.
+func BenchmarkTrainGCN(b *testing.B) {
+	g, x, split := fixture(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainGCN(g, x, split.Labeled, GCNConfig{Epochs: 50, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLabelProp measures 30 propagation rounds.
+func BenchmarkLabelProp(b *testing.B) {
+	g, _, split := fixture(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LabelProp(g, split.Labeled, 30, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package gnn implements the graph-neural-network baselines the paper
+// positions "LLMs as predictors" against (Fig. 1, Section II-A): a
+// two-layer Graph Convolutional Network (Kipf & Welling) trained
+// semi-supervised on encoded node features, and label propagation.
+// Both consume the same TAG datasets and splits as the LLM pipeline,
+// so the paradigms can be compared head to head on accuracy, training
+// requirements and token cost (GNNs pay none, but must be trained per
+// graph and cannot handle unseen label spaces).
+//
+// Everything is from scratch on the standard library: sparse
+// symmetric-normalized adjacency, full-batch forward/backward, Adam.
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+// aggregator holds the symmetric-normalized adjacency with self loops,
+// Â = D^{-1/2}(A+I)D^{-1/2}, in row-sparse form.
+type aggregator struct {
+	idx    [][]int32
+	weight [][]float64
+}
+
+// newAggregator builds Â for the graph.
+func newAggregator(g *tag.Graph) *aggregator {
+	n := g.NumNodes()
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg[i] = float64(g.Degree(tag.NodeID(i)) + 1) // +1: self loop
+	}
+	a := &aggregator{idx: make([][]int32, n), weight: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		ns := g.Neighbors(tag.NodeID(i))
+		idx := make([]int32, 0, len(ns)+1)
+		w := make([]float64, 0, len(ns)+1)
+		idx = append(idx, int32(i))
+		w = append(w, 1/deg[i])
+		for _, j := range ns {
+			idx = append(idx, int32(j))
+			w = append(w, 1/math.Sqrt(deg[i]*deg[int(j)]))
+		}
+		a.idx[i] = idx
+		a.weight[i] = w
+	}
+	return a
+}
+
+// apply computes Â·X for a dense n×d matrix.
+func (a *aggregator) apply(x [][]float64) [][]float64 {
+	n := len(a.idx)
+	d := len(x[0])
+	out := make([][]float64, n)
+	flat := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		row := flat[i*d : (i+1)*d]
+		for k, j := range a.idx[i] {
+			w := a.weight[i][k]
+			xj := x[j]
+			for c := 0; c < d; c++ {
+				row[c] += w * xj[c]
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// GCNConfig tunes training.
+type GCNConfig struct {
+	// Hidden is the hidden layer width (default 32).
+	Hidden int
+	// LR is the Adam learning rate (default 0.01).
+	LR float64
+	// WeightDecay is the L2 penalty (default 5e-4, the GCN paper's).
+	WeightDecay float64
+	// Epochs of full-batch training (default 100).
+	Epochs int
+	// Seed drives weight initialization.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c GCNConfig) withDefaults() GCNConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.WeightDecay < 0 {
+		c.WeightDecay = 0
+	} else if c.WeightDecay == 0 {
+		c.WeightDecay = 5e-4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// GCN is a trained two-layer graph convolutional network with cached
+// full-graph predictions.
+type GCN struct {
+	probs   [][]float64
+	classes int
+}
+
+// dense allocates an r×c matrix.
+func dense(r, c int) [][]float64 {
+	flat := make([]float64, r*c)
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = flat[i*c : (i+1)*c]
+	}
+	return out
+}
+
+// matmul computes X·W for X: n×d, W: d×h.
+func matmul(x, w [][]float64) [][]float64 {
+	n, d, h := len(x), len(w), len(w[0])
+	out := dense(n, h)
+	for i := 0; i < n; i++ {
+		xi := x[i]
+		oi := out[i]
+		for k := 0; k < d; k++ {
+			v := xi[k]
+			if v == 0 {
+				continue
+			}
+			wk := w[k]
+			for c := 0; c < h; c++ {
+				oi[c] += v * wk[c]
+			}
+		}
+	}
+	return out
+}
+
+// matmulT computes Xᵀ·G for X: n×d, G: n×h, result d×h.
+func matmulT(x, g [][]float64) [][]float64 {
+	n, d, h := len(x), len(x[0]), len(g[0])
+	out := dense(d, h)
+	for i := 0; i < n; i++ {
+		xi := x[i]
+		gi := g[i]
+		for k := 0; k < d; k++ {
+			v := xi[k]
+			if v == 0 {
+				continue
+			}
+			ok := out[k]
+			for c := 0; c < h; c++ {
+				ok[c] += v * gi[c]
+			}
+		}
+	}
+	return out
+}
+
+// matmulBT computes G·Wᵀ for G: n×h, W: d×h, result n×d.
+func matmulBT(g, w [][]float64) [][]float64 {
+	n, h, d := len(g), len(g[0]), len(w)
+	out := dense(n, d)
+	for i := 0; i < n; i++ {
+		gi := g[i]
+		oi := out[i]
+		for k := 0; k < d; k++ {
+			wk := w[k]
+			s := 0.0
+			for c := 0; c < h; c++ {
+				s += gi[c] * wk[c]
+			}
+			oi[k] = s
+		}
+	}
+	return out
+}
+
+// adam is one parameter matrix's optimizer state.
+type adam struct {
+	m, v [][]float64
+	t    int
+}
+
+func newAdam(r, c int) *adam { return &adam{m: dense(r, c), v: dense(r, c)} }
+
+func (a *adam) step(w, grad [][]float64, lr, decay float64) {
+	a.t++
+	b1, b2, eps := 0.9, 0.999, 1e-8
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	for i := range w {
+		for j := range w[i] {
+			g := grad[i][j] + decay*w[i][j]
+			a.m[i][j] = b1*a.m[i][j] + (1-b1)*g
+			a.v[i][j] = b2*a.v[i][j] + (1-b2)*g*g
+			w[i][j] -= lr * (a.m[i][j] / c1) / (math.Sqrt(a.v[i][j]/c2) + eps)
+		}
+	}
+}
+
+// TrainGCN trains on the labeled nodes and returns a model with cached
+// predictions for every node. X must have one feature row per node.
+func TrainGCN(g *tag.Graph, x [][]float64, labeled []tag.NodeID, cfg GCNConfig) (*GCN, error) {
+	if len(x) != g.NumNodes() {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d nodes", len(x), g.NumNodes())
+	}
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("gnn: no labeled nodes")
+	}
+	cfg = cfg.withDefaults()
+	k := len(g.Classes)
+	d := len(x[0])
+
+	rng := xrand.New(cfg.Seed).SplitString("gnn/init")
+	initMat := func(r, c int) [][]float64 {
+		w := dense(r, c)
+		scale := math.Sqrt(2.0 / float64(r+c)) // Glorot
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] = scale * rng.NormFloat64()
+			}
+		}
+		return w
+	}
+	w1 := initMat(d, cfg.Hidden)
+	w2 := initMat(cfg.Hidden, k)
+	opt1 := newAdam(d, cfg.Hidden)
+	opt2 := newAdam(cfg.Hidden, k)
+
+	agg := newAggregator(g)
+	s1 := agg.apply(x) // Â·X is constant across epochs: hoist it.
+	invL := 1 / float64(len(labeled))
+
+	n := g.NumNodes()
+	var probs [][]float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Forward.
+		z1 := matmul(s1, w1)
+		h1 := dense(n, cfg.Hidden)
+		for i := range z1 {
+			for j, v := range z1[i] {
+				if v > 0 {
+					h1[i][j] = v
+				}
+			}
+		}
+		s2 := agg.apply(h1)
+		z2 := matmul(s2, w2)
+		probs = make([][]float64, n)
+		for i := range z2 {
+			probs[i] = softmaxRow(z2[i])
+		}
+
+		// Backward: cross-entropy over the labeled set only.
+		dZ2 := dense(n, k)
+		for _, v := range labeled {
+			i := int(v)
+			copy(dZ2[i], probs[i])
+			dZ2[i][g.Nodes[i].Label] -= 1
+			for j := range dZ2[i] {
+				dZ2[i][j] *= invL
+			}
+		}
+		gW2 := matmulT(s2, dZ2)
+		dS2 := matmulBT(dZ2, w2)
+		dH1 := agg.apply(dS2) // Â is symmetric
+		for i := range dH1 {
+			for j := range dH1[i] {
+				if z1[i][j] <= 0 {
+					dH1[i][j] = 0
+				}
+			}
+		}
+		gW1 := matmulT(s1, dH1)
+
+		opt2.step(w2, gW2, cfg.LR, cfg.WeightDecay)
+		opt1.step(w1, gW1, cfg.LR, cfg.WeightDecay)
+	}
+	return &GCN{probs: probs, classes: k}, nil
+}
+
+// softmaxRow is a numerically stable softmax.
+func softmaxRow(z []float64) []float64 {
+	max := z[0]
+	for _, v := range z[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(z))
+	sum := 0.0
+	for i, v := range z {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Probs returns the class distribution predicted for node v.
+func (m *GCN) Probs(v tag.NodeID) []float64 { return m.probs[v] }
+
+// Predict returns the argmax class for node v.
+func (m *GCN) Predict(v tag.NodeID) int {
+	best, bestP := 0, m.probs[v][0]
+	for c, p := range m.probs[v] {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// Accuracy scores the model on the given nodes against ground truth.
+func (m *GCN) Accuracy(g *tag.Graph, nodes []tag.NodeID) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, v := range nodes {
+		if m.Predict(v) == g.Nodes[v].Label {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(nodes))
+}
+
+// LabelProp runs label propagation: label distributions diffuse along
+// Â for iters rounds with restart weight alpha toward the clamped
+// labeled seeds, then each node takes the argmax. It is the simplest
+// graph baseline — no features, no training.
+func LabelProp(g *tag.Graph, labeled []tag.NodeID, iters int, alpha float64) ([]int, error) {
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("gnn: no labeled nodes")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("gnn: alpha %v outside (0,1)", alpha)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	n := g.NumNodes()
+	k := len(g.Classes)
+	seed := dense(n, k)
+	isSeed := make([]bool, n)
+	for _, v := range labeled {
+		seed[v][g.Nodes[v].Label] = 1
+		isSeed[v] = true
+	}
+	agg := newAggregator(g)
+	f := dense(n, k)
+	for i := range f {
+		copy(f[i], seed[i])
+	}
+	for it := 0; it < iters; it++ {
+		nf := agg.apply(f)
+		for i := range nf {
+			for c := range nf[i] {
+				nf[i][c] = alpha*nf[i][c] + (1-alpha)*seed[i][c]
+			}
+			if isSeed[i] {
+				copy(nf[i], seed[i])
+			}
+		}
+		f = nf
+	}
+	out := make([]int, n)
+	for i := range f {
+		best, bestP := 0, f[i][0]
+		for c, p := range f[i] {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

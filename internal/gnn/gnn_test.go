@@ -1,0 +1,182 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/encode"
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+// fixture generates a small Cora with features and a split.
+func fixture(t testing.TB, seed uint64) (*tag.Graph, [][]float64, tag.Split) {
+	t.Helper()
+	spec, err := tag.SpecByName("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, seed, tag.Options{Scale: 0.3})
+	corpus := make([]string, g.NumNodes())
+	for i := range corpus {
+		corpus[i] = g.Text(tag.NodeID(i))
+	}
+	enc := encode.NewTFIDF(corpus, 256)
+	x := make([][]float64, g.NumNodes())
+	for i := range x {
+		x[i] = enc.Encode(corpus[i])
+	}
+	split := g.SplitPerClass(xrand.New(seed+1), 20, 200)
+	return g, x, split
+}
+
+func TestGCNLearnsBeyondChance(t *testing.T) {
+	g, x, split := fixture(t, 1)
+	m, err := TrainGCN(g, x, split.Labeled, GCNConfig{Epochs: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Accuracy(g, split.Query)
+	chance := 1.0 / float64(len(g.Classes))
+	if acc < 3*chance {
+		t.Errorf("GCN accuracy %.3f barely above chance %.3f", acc, chance)
+	}
+	// Training accuracy should be high on this easy synthetic graph.
+	if trainAcc := m.Accuracy(g, split.Labeled); trainAcc < 0.9 {
+		t.Errorf("training accuracy %.3f, want ≥0.9", trainAcc)
+	}
+}
+
+func TestGCNProbsAreDistributions(t *testing.T) {
+	g, x, split := fixture(t, 2)
+	m, err := TrainGCN(g, x, split.Labeled, GCNConfig{Epochs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i += 17 {
+		p := m.Probs(tag.NodeID(i))
+		if len(p) != len(g.Classes) {
+			t.Fatalf("node %d: %d probs for %d classes", i, len(p), len(g.Classes))
+		}
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("node %d: invalid probability %v", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("node %d: probs sum to %v", i, sum)
+		}
+	}
+}
+
+func TestGCNDeterministic(t *testing.T) {
+	g, x, split := fixture(t, 3)
+	a, err := TrainGCN(g, x, split.Labeled, GCNConfig{Epochs: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainGCN(g, x, split.Labeled, GCNConfig{Epochs: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if a.Predict(tag.NodeID(i)) != b.Predict(tag.NodeID(i)) {
+			t.Fatalf("node %d prediction diverged across identical trainings", i)
+		}
+	}
+}
+
+func TestGCNInputValidation(t *testing.T) {
+	g, x, split := fixture(t, 4)
+	if _, err := TrainGCN(g, x[:3], split.Labeled, GCNConfig{}); err == nil {
+		t.Error("feature/node mismatch accepted")
+	}
+	if _, err := TrainGCN(g, x, nil, GCNConfig{}); err == nil {
+		t.Error("empty labeled set accepted")
+	}
+}
+
+func TestLabelPropBeatsChanceOnHomophilousGraph(t *testing.T) {
+	g, _, split := fixture(t, 5)
+	pred, err := LabelProp(g, split.Labeled, 30, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != g.NumNodes() {
+		t.Fatalf("predicted %d nodes, want %d", len(pred), g.NumNodes())
+	}
+	ok := 0
+	for _, v := range split.Query {
+		if pred[v] == g.Nodes[v].Label {
+			ok++
+		}
+	}
+	acc := float64(ok) / float64(len(split.Query))
+	chance := 1.0 / float64(len(g.Classes))
+	if acc < 2*chance {
+		t.Errorf("label propagation accuracy %.3f too close to chance %.3f", acc, chance)
+	}
+	// Seeds stay clamped.
+	for _, v := range split.Labeled {
+		if pred[v] != g.Nodes[v].Label {
+			t.Fatalf("seed node %d lost its label", v)
+		}
+	}
+}
+
+func TestLabelPropValidation(t *testing.T) {
+	g, _, split := fixture(t, 6)
+	if _, err := LabelProp(g, nil, 10, 0.9); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := LabelProp(g, split.Labeled, 10, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestAggregatorRowsAreNormalizedish(t *testing.T) {
+	g, _, _ := fixture(t, 7)
+	a := newAggregator(g)
+	// Â row sums are ≤ 1 + small slack (exactly 1 for a regular graph);
+	// weights are positive and include the self loop.
+	for i := range a.idx {
+		if a.idx[i][0] != int32(i) {
+			t.Fatalf("row %d missing self loop first", i)
+		}
+		sum := 0.0
+		for _, w := range a.weight[i] {
+			if w <= 0 {
+				t.Fatalf("row %d has non-positive weight", i)
+			}
+			sum += w
+		}
+		// Symmetric normalization bounds each entry by 1; a hub with
+		// leaf neighbors can sum above 1 but never beyond its entry
+		// count, and typical rows stay near 1.
+		if sum <= 0 || sum > float64(len(a.weight[i])) {
+			t.Fatalf("row %d sums to %v with %d entries", i, sum, len(a.weight[i]))
+		}
+	}
+	// apply() on a constant vector stays positive and bounded by the
+	// max row sum; the mean stays near 1 (diffusion conserves mass
+	// approximately on a near-regular graph).
+	n := g.NumNodes()
+	ones := dense(n, 1)
+	for i := range ones {
+		ones[i][0] = 1
+	}
+	out := a.apply(ones)
+	mean := 0.0
+	for i := range out {
+		if out[i][0] <= 0 {
+			t.Fatalf("Â·1 at row %d = %v", i, out[i][0])
+		}
+		mean += out[i][0]
+	}
+	mean /= float64(n)
+	if mean < 0.7 || mean > 1.3 {
+		t.Fatalf("mean of Â·1 = %v, want ≈1", mean)
+	}
+}

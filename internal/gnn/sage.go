@@ -1,0 +1,176 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+// GraphSAGE with mean aggregation (Hamilton et al., the paper's second
+// representative GNN [36]): each layer combines a node's own
+// representation with the mean of its neighbors' through separate
+// weight matrices,
+//
+//	h' = ReLU(W_self·h + W_nb·mean_{u∈N(v)} h_u)
+//
+// trained full-batch with Adam on the labeled split. Unlike GCN's
+// symmetric normalization, the mean aggregator is row-stochastic and
+// therefore not symmetric; backprop uses its explicit transpose.
+
+// meanAggregators builds the row-stochastic mean aggregator M
+// (M[i][j] = 1/deg(i) for j ∈ N(i)) and its transpose, both in
+// row-sparse form. Isolated nodes aggregate to the zero vector.
+func meanAggregators(g *tag.Graph) (fwd, transpose *aggregator) {
+	n := g.NumNodes()
+	fwd = &aggregator{idx: make([][]int32, n), weight: make([][]float64, n)}
+	transpose = &aggregator{idx: make([][]int32, n), weight: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		ns := g.Neighbors(tag.NodeID(i))
+		if len(ns) == 0 {
+			continue
+		}
+		w := 1 / float64(len(ns))
+		for _, j := range ns {
+			fwd.idx[i] = append(fwd.idx[i], int32(j))
+			fwd.weight[i] = append(fwd.weight[i], w)
+			transpose.idx[j] = append(transpose.idx[j], int32(i))
+			transpose.weight[j] = append(transpose.weight[j], w)
+		}
+	}
+	return fwd, transpose
+}
+
+// SAGE is a trained two-layer GraphSAGE-mean model with cached
+// full-graph predictions.
+type SAGE struct {
+	probs   [][]float64
+	classes int
+}
+
+// TrainSAGE trains on the labeled nodes and returns a model with
+// cached predictions for every node. Configuration reuses GCNConfig
+// (hidden width, LR, weight decay, epochs, seed).
+func TrainSAGE(g *tag.Graph, x [][]float64, labeled []tag.NodeID, cfg GCNConfig) (*SAGE, error) {
+	if len(x) != g.NumNodes() {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d nodes", len(x), g.NumNodes())
+	}
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("gnn: no labeled nodes")
+	}
+	cfg = cfg.withDefaults()
+	k := len(g.Classes)
+	d := len(x[0])
+	n := g.NumNodes()
+
+	rng := xrand.New(cfg.Seed).SplitString("gnn/sage-init")
+	initMat := func(r, c int) [][]float64 {
+		w := dense(r, c)
+		scale := math.Sqrt(2.0 / float64(r+c))
+		for i := range w {
+			for j := range w[i] {
+				w[i][j] = scale * rng.NormFloat64()
+			}
+		}
+		return w
+	}
+	wSelf1 := initMat(d, cfg.Hidden)
+	wNb1 := initMat(d, cfg.Hidden)
+	wSelf2 := initMat(cfg.Hidden, k)
+	wNb2 := initMat(cfg.Hidden, k)
+	opts := []*adam{
+		newAdam(d, cfg.Hidden), newAdam(d, cfg.Hidden),
+		newAdam(cfg.Hidden, k), newAdam(cfg.Hidden, k),
+	}
+
+	mAgg, mAggT := meanAggregators(g)
+	s1 := mAgg.apply(x) // mean(X) is constant: hoist.
+	invL := 1 / float64(len(labeled))
+
+	var probs [][]float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Forward.
+		z1 := matmul(x, wSelf1)
+		z1b := matmul(s1, wNb1)
+		h1 := dense(n, cfg.Hidden)
+		for i := range z1 {
+			for j := range z1[i] {
+				if v := z1[i][j] + z1b[i][j]; v > 0 {
+					h1[i][j] = v
+				}
+				z1[i][j] += z1b[i][j] // keep pre-activation for the mask
+			}
+		}
+		s2 := mAgg.apply(h1)
+		z2 := matmul(h1, wSelf2)
+		z2b := matmul(s2, wNb2)
+		probs = make([][]float64, n)
+		for i := range z2 {
+			for j := range z2[i] {
+				z2[i][j] += z2b[i][j]
+			}
+			probs[i] = softmaxRow(z2[i])
+		}
+
+		// Backward.
+		dZ2 := dense(n, k)
+		for _, v := range labeled {
+			i := int(v)
+			copy(dZ2[i], probs[i])
+			dZ2[i][g.Nodes[i].Label] -= 1
+			for j := range dZ2[i] {
+				dZ2[i][j] *= invL
+			}
+		}
+		gWself2 := matmulT(h1, dZ2)
+		gWnb2 := matmulT(s2, dZ2)
+		dH1 := matmulBT(dZ2, wSelf2)
+		dS2 := matmulBT(dZ2, wNb2)
+		back := mAggT.apply(dS2)
+		for i := range dH1 {
+			for j := range dH1[i] {
+				dH1[i][j] += back[i][j]
+				if z1[i][j] <= 0 {
+					dH1[i][j] = 0
+				}
+			}
+		}
+		gWself1 := matmulT(x, dH1)
+		gWnb1 := matmulT(s1, dH1)
+
+		opts[0].step(wSelf1, gWself1, cfg.LR, cfg.WeightDecay)
+		opts[1].step(wNb1, gWnb1, cfg.LR, cfg.WeightDecay)
+		opts[2].step(wSelf2, gWself2, cfg.LR, cfg.WeightDecay)
+		opts[3].step(wNb2, gWnb2, cfg.LR, cfg.WeightDecay)
+	}
+	return &SAGE{probs: probs, classes: k}, nil
+}
+
+// Probs returns the class distribution predicted for node v.
+func (m *SAGE) Probs(v tag.NodeID) []float64 { return m.probs[v] }
+
+// Predict returns the argmax class for node v.
+func (m *SAGE) Predict(v tag.NodeID) int {
+	best, bestP := 0, m.probs[v][0]
+	for c, p := range m.probs[v] {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+// Accuracy scores the model on the given nodes against ground truth.
+func (m *SAGE) Accuracy(g *tag.Graph, nodes []tag.NodeID) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, v := range nodes {
+		if m.Predict(v) == g.Nodes[v].Label {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(nodes))
+}

@@ -1,0 +1,92 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tag"
+)
+
+func TestSAGELearnsBeyondChance(t *testing.T) {
+	g, x, split := fixture(t, 8)
+	m, err := TrainSAGE(g, x, split.Labeled, GCNConfig{Epochs: 80, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Accuracy(g, split.Query)
+	chance := 1.0 / float64(len(g.Classes))
+	if acc < 3*chance {
+		t.Errorf("SAGE accuracy %.3f barely above chance %.3f", acc, chance)
+	}
+	if trainAcc := m.Accuracy(g, split.Labeled); trainAcc < 0.9 {
+		t.Errorf("training accuracy %.3f, want ≥0.9", trainAcc)
+	}
+}
+
+func TestSAGEProbsAreDistributions(t *testing.T) {
+	g, x, split := fixture(t, 9)
+	m, err := TrainSAGE(g, x, split.Labeled, GCNConfig{Epochs: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i += 23 {
+		p := m.Probs(tag.NodeID(i))
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("node %d: invalid probability %v", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("node %d: probs sum to %v", i, sum)
+		}
+	}
+}
+
+func TestSAGEDeterministicAndValidates(t *testing.T) {
+	g, x, split := fixture(t, 10)
+	a, err := TrainSAGE(g, x, split.Labeled, GCNConfig{Epochs: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSAGE(g, x, split.Labeled, GCNConfig{Epochs: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i += 7 {
+		if a.Predict(tag.NodeID(i)) != b.Predict(tag.NodeID(i)) {
+			t.Fatalf("node %d diverged across identical trainings", i)
+		}
+	}
+	if _, err := TrainSAGE(g, x[:1], split.Labeled, GCNConfig{}); err == nil {
+		t.Error("feature/node mismatch accepted")
+	}
+	if _, err := TrainSAGE(g, x, nil, GCNConfig{}); err == nil {
+		t.Error("empty labeled set accepted")
+	}
+}
+
+// TestMeanAggregatorsAreTransposes verifies ⟨Mx, y⟩ = ⟨x, Mᵀy⟩ — the
+// identity SAGE's backward pass depends on.
+func TestMeanAggregatorsAreTransposes(t *testing.T) {
+	g, _, _ := fixture(t, 11)
+	fwd, tr := meanAggregators(g)
+	n := g.NumNodes()
+	x := dense(n, 1)
+	y := dense(n, 1)
+	for i := 0; i < n; i++ {
+		x[i][0] = float64((i*37)%11) - 5
+		y[i][0] = float64((i*17)%7) - 3
+	}
+	mx := fwd.apply(x)
+	mty := tr.apply(y)
+	var lhs, rhs float64
+	for i := 0; i < n; i++ {
+		lhs += mx[i][0] * y[i][0]
+		rhs += x[i][0] * mty[i][0]
+	}
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("⟨Mx,y⟩ = %v but ⟨x,Mᵀy⟩ = %v", lhs, rhs)
+	}
+}

@@ -1,0 +1,31 @@
+package infotheory
+
+import "testing"
+
+// BenchmarkDecompose measures a PID decomposition at the size the
+// fig2 experiment uses (classes+1 codes per variable on Cora: 8×8×7).
+func BenchmarkDecompose(b *testing.B) {
+	j := randomJoint3(1, 8, 8, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Decompose(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFromSamples measures joint estimation from 1,000 query
+// outcomes.
+func BenchmarkFromSamples(b *testing.B) {
+	n := 1000
+	ts, ns, ys := make([]int, n), make([]int, n), make([]int, n)
+	for i := range ts {
+		ts[i], ns[i], ys[i] = i%8, (i/3)%8, (i/7)%7
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromSamples(ts, ns, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package infotheory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKLDivergenceKnownValues(t *testing.T) {
+	// Identical distributions: 0.
+	if got := KLDivergence([]float64{0.5, 0.5}, []float64{0.5, 0.5}); !almost(got, 0) {
+		t.Errorf("KL(p‖p) = %v, want 0", got)
+	}
+	// p = (1,0), q = (0.5,0.5): KL = 1 bit.
+	if got := KLDivergence([]float64{1, 0}, []float64{0.5, 0.5}); !almost(got, 1) {
+		t.Errorf("KL = %v, want 1", got)
+	}
+	// Support mismatch: +Inf.
+	if got := KLDivergence([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(got, 1) {
+		t.Errorf("KL with unsupported mass = %v, want +Inf", got)
+	}
+	// Unnormalized inputs are normalized.
+	if got := KLDivergence([]float64{2, 0}, []float64{3, 3}); !almost(got, 1) {
+		t.Errorf("unnormalized KL = %v, want 1", got)
+	}
+	// Invalid inputs.
+	if !math.IsNaN(KLDivergence([]float64{1}, []float64{0.5, 0.5})) {
+		t.Error("length mismatch accepted")
+	}
+	if !math.IsNaN(KLDivergence([]float64{-1, 2}, []float64{0.5, 0.5})) {
+		t.Error("negative mass accepted")
+	}
+	if !math.IsNaN(KLDivergence([]float64{0, 0}, []float64{0.5, 0.5})) {
+		t.Error("zero distribution accepted")
+	}
+}
+
+func TestJSDivergenceProperties(t *testing.T) {
+	// Maximal for disjoint distributions: 1 bit.
+	if got := JSDivergence([]float64{1, 0}, []float64{0, 1}); !almost(got, 1) {
+		t.Errorf("disjoint JS = %v, want 1", got)
+	}
+	if got := JSDivergence([]float64{0.3, 0.7}, []float64{0.3, 0.7}); !almost(got, 0) {
+		t.Errorf("JS(p‖p) = %v, want 0", got)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, 4)
+		q := make([]float64, 4)
+		for i := range p {
+			p[i] = rng.Float64()
+			q[i] = rng.Float64()
+		}
+		js := JSDivergence(p, q)
+		// Symmetric, bounded in [0, 1], finite.
+		if math.IsNaN(js) || js < -tol || js > 1+1e-9 {
+			return false
+		}
+		return almost(js, JSDivergence(q, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// KL is non-negative on random distribution pairs (Gibbs' inequality).
+func TestKLNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, 5)
+		q := make([]float64, 5)
+		for i := range p {
+			p[i] = rng.Float64() + 1e-9
+			q[i] = rng.Float64() + 1e-9
+		}
+		return KLDivergence(p, q) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

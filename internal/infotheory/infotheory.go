@@ -1,0 +1,224 @@
+// Package infotheory implements the discrete information-theoretic
+// quantities behind the paper's single-query analysis (Section IV):
+// entropy, mutual information, conditional entropy, and the Partial
+// Information Decomposition (PID) of I(t, N; y) into redundant, unique
+// and synergistic terms (Eq. 3). The decomposition uses the
+// Williams–Beer I_min redundancy measure, under which the paper's
+// identities hold exactly:
+//
+//	I(t;y)   = R(t,N;y) + U(t\N;y)                   (Eq. 4)
+//	IG^N     = U(N\t;y) + S(t,N;y)                   (Eq. 5)
+//	IG^N    <= H(y) − I(t;y) = H(y|t)                (Eq. 6)
+//
+// All logarithms are base 2; results are in bits. Distributions are
+// dense probability tables; estimate them from data with FromSamples.
+package infotheory
+
+import (
+	"fmt"
+	"math"
+)
+
+// log2 guards against log(0): the convention 0·log 0 = 0 is applied by
+// callers checking p > 0 first.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// Entropy returns H(p) = −Σ p log2 p for a probability vector. Entries
+// must be non-negative; the vector is normalized internally so callers
+// may pass raw counts.
+func Entropy(p []float64) float64 {
+	total := 0.0
+	for _, v := range p {
+		if v < 0 {
+			return math.NaN()
+		}
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range p {
+		// Guard on the normalized value: if total overflowed to +Inf,
+		// q underflows to 0 and must be skipped like any zero entry.
+		if q := v / total; q > 0 {
+			h -= q * log2(q)
+		}
+	}
+	return h
+}
+
+// Joint2 is a joint distribution P(X, Y) over two discrete variables,
+// stored as P[x][y]. Use NewJoint2 to allocate and Normalize before
+// querying if the entries are counts.
+type Joint2 struct {
+	P [][]float64
+}
+
+// NewJoint2 allocates a zeroed |X|×|Y| table.
+func NewJoint2(nx, ny int) *Joint2 {
+	p := make([][]float64, nx)
+	for i := range p {
+		p[i] = make([]float64, ny)
+	}
+	return &Joint2{P: p}
+}
+
+// Normalize scales the table to sum to 1. A zero table is left alone.
+func (j *Joint2) Normalize() {
+	total := 0.0
+	for _, row := range j.P {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for _, row := range j.P {
+		for y := range row {
+			row[y] /= total
+		}
+	}
+}
+
+// MarginalX returns P(X).
+func (j *Joint2) MarginalX() []float64 {
+	m := make([]float64, len(j.P))
+	for x, row := range j.P {
+		for _, v := range row {
+			m[x] += v
+		}
+	}
+	return m
+}
+
+// MarginalY returns P(Y).
+func (j *Joint2) MarginalY() []float64 {
+	if len(j.P) == 0 {
+		return nil
+	}
+	m := make([]float64, len(j.P[0]))
+	for _, row := range j.P {
+		for y, v := range row {
+			m[y] += v
+		}
+	}
+	return m
+}
+
+// MutualInformation returns I(X;Y) = Σ p(x,y) log2 p(x,y)/(p(x)p(y)).
+// The table must be normalized.
+func (j *Joint2) MutualInformation() float64 {
+	px := j.MarginalX()
+	py := j.MarginalY()
+	mi := 0.0
+	for x, row := range j.P {
+		for y, v := range row {
+			if v > 0 {
+				mi += v * log2(v/(px[x]*py[y]))
+			}
+		}
+	}
+	if mi < 0 { // floating-point underflow guard; MI is non-negative
+		return 0
+	}
+	return mi
+}
+
+// ConditionalEntropy returns H(Y|X) = H(X,Y) − H(X). The table must be
+// normalized.
+func (j *Joint2) ConditionalEntropy() float64 {
+	flat := make([]float64, 0, len(j.P)*len(j.P[0]))
+	for _, row := range j.P {
+		flat = append(flat, row...)
+	}
+	h := Entropy(flat) - Entropy(j.MarginalX())
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// KLDivergence returns D_KL(p ‖ q) in bits. Both vectors are
+// normalized internally. The result is +Inf when p places mass where q
+// has none, and NaN on invalid input.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		return math.NaN()
+	}
+	var sp, sq float64
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return math.NaN()
+		}
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp == 0 || sq == 0 {
+		return math.NaN()
+	}
+	d := 0.0
+	for i := range p {
+		pi := p[i] / sp
+		if pi == 0 {
+			continue
+		}
+		qi := q[i] / sq
+		if qi == 0 {
+			return math.Inf(1)
+		}
+		d += pi * log2(pi/qi)
+	}
+	if d < 0 { // floating-point cancellation guard; KL is non-negative
+		return 0
+	}
+	return d
+}
+
+// JSDivergence returns the Jensen–Shannon divergence in bits: a
+// symmetric, bounded ([0,1]) smoothing of KL. It is what the query
+// scheduler's conflict intuition measures formally — how far apart two
+// neighbor-label distributions are.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		return math.NaN()
+	}
+	var sp, sq float64
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return math.NaN()
+		}
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp == 0 || sq == 0 {
+		return math.NaN()
+	}
+	mix := make([]float64, len(p))
+	pn := make([]float64, len(p))
+	qn := make([]float64, len(q))
+	for i := range p {
+		pn[i] = p[i] / sp
+		qn[i] = q[i] / sq
+		mix[i] = (pn[i] + qn[i]) / 2
+	}
+	return (KLDivergence(pn, mix) + KLDivergence(qn, mix)) / 2
+}
+
+// Validate checks that the table is a distribution within tolerance.
+func (j *Joint2) Validate() error {
+	total := 0.0
+	for _, row := range j.P {
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("infotheory: invalid probability %v", v)
+			}
+			total += v
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("infotheory: joint sums to %v, want 1", total)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package infotheory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-6 }
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []float64
+		want float64
+	}{
+		{"uniform binary", []float64{0.5, 0.5}, 1},
+		{"deterministic", []float64{1, 0, 0}, 0},
+		{"uniform 4", []float64{0.25, 0.25, 0.25, 0.25}, 2},
+		{"unnormalized counts", []float64{2, 2}, 1},
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Entropy(c.p); !almost(got, c.want) {
+			t.Errorf("%s: Entropy = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !math.IsNaN(Entropy([]float64{-0.5, 1.5})) {
+		t.Error("negative probability should yield NaN")
+	}
+}
+
+func TestEntropyBoundedByLog(t *testing.T) {
+	f := func(raw []float64) bool {
+		p := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			p = append(p, math.Abs(v))
+		}
+		if len(p) == 0 {
+			return true
+		}
+		h := Entropy(p)
+		return h >= -tol && h <= math.Log2(float64(len(p)))+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutualInformationIndependence(t *testing.T) {
+	// Independent X, Y: I = 0.
+	j := NewJoint2(2, 3)
+	px := []float64{0.3, 0.7}
+	py := []float64{0.2, 0.5, 0.3}
+	for x := range j.P {
+		for y := range j.P[x] {
+			j.P[x][y] = px[x] * py[y]
+		}
+	}
+	if got := j.MutualInformation(); !almost(got, 0) {
+		t.Errorf("independent MI = %v, want 0", got)
+	}
+	if got := j.ConditionalEntropy(); !almost(got, Entropy(py)) {
+		t.Errorf("H(Y|X) = %v, want H(Y) = %v", got, Entropy(py))
+	}
+}
+
+func TestMutualInformationPerfectCopy(t *testing.T) {
+	// Y = X uniform over 4 values: I = 2 bits, H(Y|X) = 0.
+	j := NewJoint2(4, 4)
+	for x := range j.P {
+		j.P[x][x] = 0.25
+	}
+	if got := j.MutualInformation(); !almost(got, 2) {
+		t.Errorf("copy MI = %v, want 2", got)
+	}
+	if got := j.ConditionalEntropy(); !almost(got, 0) {
+		t.Errorf("copy H(Y|X) = %v, want 0", got)
+	}
+}
+
+func TestJoint2NormalizeAndValidate(t *testing.T) {
+	j := NewJoint2(2, 2)
+	j.P[0][0], j.P[0][1], j.P[1][0], j.P[1][1] = 1, 2, 3, 4
+	if err := j.Validate(); err == nil {
+		t.Error("unnormalized table validated")
+	}
+	j.Normalize()
+	if err := j.Validate(); err != nil {
+		t.Errorf("normalized table failed: %v", err)
+	}
+	if got := j.P[1][1]; !almost(got, 0.4) {
+		t.Errorf("P[1][1] = %v, want 0.4", got)
+	}
+}
+
+// --- PID on analytically known gates --------------------------------
+
+func uniformJoint3(f func(t, n int) int) *Joint3 {
+	j := NewJoint3(2, 2, 2)
+	for t := 0; t < 2; t++ {
+		for n := 0; n < 2; n++ {
+			j.P[t][n][f(t, n)] += 0.25
+		}
+	}
+	return j
+}
+
+func TestPIDXorIsPureSynergy(t *testing.T) {
+	p, err := uniformJoint3(func(a, b int) int { return a ^ b }).Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.Synergy, 1) || !almost(p.Redundant, 0) || !almost(p.UniqueT, 0) || !almost(p.UniqueN, 0) {
+		t.Errorf("XOR PID = %+v, want pure 1-bit synergy", p)
+	}
+	if !almost(p.InformationGain(), 1) {
+		t.Errorf("XOR IG = %v, want 1", p.InformationGain())
+	}
+}
+
+func TestPIDCopyIsPureRedundancy(t *testing.T) {
+	// T = N = Y uniform binary.
+	j := NewJoint3(2, 2, 2)
+	j.P[0][0][0] = 0.5
+	j.P[1][1][1] = 0.5
+	p, err := j.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.Redundant, 1) || !almost(p.UniqueT, 0) || !almost(p.UniqueN, 0) || !almost(p.Synergy, 0) {
+		t.Errorf("copy PID = %+v, want pure 1-bit redundancy", p)
+	}
+	// A redundant source adds no information gain — the saturated-node
+	// case of the paper: H(y|t) = 0 forces IG = 0 (Eq. 6).
+	if !almost(p.HYGivenT, 0) || !almost(p.InformationGain(), 0) {
+		t.Errorf("copy: H(y|t)=%v IG=%v, want 0, 0", p.HYGivenT, p.InformationGain())
+	}
+}
+
+func TestPIDUniqueSource(t *testing.T) {
+	// Y = T; N independent fair coin: all information is unique to T.
+	p, err := uniformJoint3(func(a, _ int) int { return a }).Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p.UniqueT, 1) || !almost(p.Redundant, 0) || !almost(p.UniqueN, 0) || !almost(p.Synergy, 0) {
+		t.Errorf("unique PID = %+v, want pure 1-bit UniqueT", p)
+	}
+}
+
+func TestPIDAndGate(t *testing.T) {
+	// AND gate: known Williams–Beer values R ≈ 0.311, U = 0,
+	// S ≈ 0.5 bits (I(T,N;Y) ≈ 0.811).
+	p, err := uniformJoint3(func(a, b int) int { return a & b }).Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Redundant-0.311) > 0.01 {
+		t.Errorf("AND redundancy = %v, want ≈0.311", p.Redundant)
+	}
+	if !almost(p.UniqueT, p.UniqueN) {
+		t.Errorf("AND unique terms differ: %v vs %v", p.UniqueT, p.UniqueN)
+	}
+	if math.Abs(p.Synergy-0.5) > 0.01 {
+		t.Errorf("AND synergy = %v, want ≈0.5", p.Synergy)
+	}
+}
+
+func TestDecomposeRejectsBadInput(t *testing.T) {
+	j := NewJoint3(2, 2, 2)
+	j.P[0][0][0] = 0.9 // sums to 0.9
+	if _, err := j.Decompose(); err == nil {
+		t.Error("unnormalized joint accepted")
+	}
+	j2 := NewJoint3(1, 1, 1)
+	j2.P[0][0][0] = math.NaN()
+	if _, err := j2.Decompose(); err == nil {
+		t.Error("NaN joint accepted")
+	}
+}
+
+// randomJoint3 builds a random normalized joint from a seed.
+func randomJoint3(seed int64, nt, nn, ny int) *Joint3 {
+	rng := rand.New(rand.NewSource(seed))
+	j := NewJoint3(nt, nn, ny)
+	for t := 0; t < nt; t++ {
+		for n := 0; n < nn; n++ {
+			for y := 0; y < ny; y++ {
+				j.P[t][n][y] = rng.Float64()
+			}
+		}
+	}
+	j.Normalize()
+	return j
+}
+
+// TestPIDPaperIdentities checks Eq. 4, Eq. 5 and Eq. 6 on random
+// joints: the lattice identities and the information-gain bound.
+func TestPIDPaperIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		j := randomJoint3(seed, 3, 4, 3)
+		p, err := j.Decompose()
+		if err != nil {
+			return false
+		}
+		// Eq. 4: I(t;y) = R + U_T.
+		if !almost(p.MIT, p.Redundant+p.UniqueT) {
+			return false
+		}
+		// Symmetric identity: I(N;y) = R + U_N.
+		if !almost(p.MIN, p.Redundant+p.UniqueN) {
+			return false
+		}
+		// Eq. 3: total MI = R + U_T + U_N + S.
+		if !almost(p.MITotal, p.Redundant+p.UniqueT+p.UniqueN+p.Synergy) {
+			return false
+		}
+		// Eq. 5: IG = U_N + S.
+		if !almost(p.InformationGain(), p.UniqueN+p.Synergy) {
+			return false
+		}
+		// Eq. 6: IG <= H(y|t).
+		if p.InformationGain() > p.HYGivenT+1e-6 {
+			return false
+		}
+		// All terms non-negative under I_min.
+		return p.Redundant >= -tol && p.UniqueT >= -tol && p.UniqueN >= -tol && p.Synergy >= -tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	// Deterministic AND-gate samples reproduce the analytic PID.
+	var ts, ns, ys []int
+	for i := 0; i < 4000; i++ {
+		a, b := i%2, (i/2)%2
+		ts, ns, ys = append(ts, a), append(ns, b), append(ys, a&b)
+	}
+	j, err := FromSamples(ts, ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := j.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Synergy-0.5) > 0.01 {
+		t.Errorf("sampled AND synergy = %v, want ≈0.5", p.Synergy)
+	}
+
+	if _, err := FromSamples([]int{1}, []int{1, 2}, []int{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FromSamples(nil, nil, nil); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := FromSamples([]int{-1}, []int{0}, []int{0}); err == nil {
+		t.Error("negative code accepted")
+	}
+}
+
+func TestSpecificInformationAveragesToMI(t *testing.T) {
+	// Σ_y p(y)·I(S; Y=y) = I(S; Y) — the Williams–Beer construction.
+	f := func(seed int64) bool {
+		j := randomJoint3(seed, 4, 2, 3)
+		ty := j.JointTY()
+		py := j.MarginalY()
+		sum := 0.0
+		for y, p := range py {
+			sum += p * specificInformation(ty, y, p)
+		}
+		return almost(sum, ty.MutualInformation())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJointMarginalsConsistent(t *testing.T) {
+	j := randomJoint3(42, 3, 3, 4)
+	sy := j.JointSourcesY()
+	wantY := j.MarginalY()
+	gotY := sy.MarginalY()
+	for y := range wantY {
+		if !almost(wantY[y], gotY[y]) {
+			t.Fatalf("P(Y=%d) differs: %v vs %v", y, wantY[y], gotY[y])
+		}
+	}
+	// Chain: I(t,N;y) >= max(I(t;y), I(N;y)).
+	p, err := j.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MITotal+1e-9 < p.MIT || p.MITotal+1e-9 < p.MIN {
+		t.Errorf("total MI %v below a marginal MI (%v, %v)", p.MITotal, p.MIT, p.MIN)
+	}
+}

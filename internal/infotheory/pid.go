@@ -1,0 +1,265 @@
+package infotheory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Joint3 is a joint distribution P(T, N, Y) over the two source
+// variables of the paper's analysis — the node's own text signal T and
+// the neighbor-text signal N — and the target label Y. Stored as
+// P[t][n][y].
+type Joint3 struct {
+	P [][][]float64
+}
+
+// NewJoint3 allocates a zeroed |T|×|N|×|Y| table.
+func NewJoint3(nt, nn, ny int) *Joint3 {
+	p := make([][][]float64, nt)
+	for t := range p {
+		p[t] = make([][]float64, nn)
+		for n := range p[t] {
+			p[t][n] = make([]float64, ny)
+		}
+	}
+	return &Joint3{P: p}
+}
+
+// Normalize scales the table to sum to 1. A zero table is left alone.
+func (j *Joint3) Normalize() {
+	total := 0.0
+	for _, pn := range j.P {
+		for _, py := range pn {
+			for _, v := range py {
+				total += v
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for _, pn := range j.P {
+		for _, py := range pn {
+			for y := range py {
+				py[y] /= total
+			}
+		}
+	}
+}
+
+// dims returns the table's |T|, |N|, |Y|.
+func (j *Joint3) dims() (nt, nn, ny int) {
+	nt = len(j.P)
+	if nt > 0 {
+		nn = len(j.P[0])
+		if nn > 0 {
+			ny = len(j.P[0][0])
+		}
+	}
+	return
+}
+
+// MarginalY returns P(Y).
+func (j *Joint3) MarginalY() []float64 {
+	_, _, ny := j.dims()
+	m := make([]float64, ny)
+	for _, pn := range j.P {
+		for _, py := range pn {
+			for y, v := range py {
+				m[y] += v
+			}
+		}
+	}
+	return m
+}
+
+// JointTY marginalizes N away, returning P(T, Y).
+func (j *Joint3) JointTY() *Joint2 {
+	nt, _, ny := j.dims()
+	out := NewJoint2(nt, ny)
+	for t, pn := range j.P {
+		for _, py := range pn {
+			for y, v := range py {
+				out.P[t][y] += v
+			}
+		}
+	}
+	return out
+}
+
+// JointNY marginalizes T away, returning P(N, Y).
+func (j *Joint3) JointNY() *Joint2 {
+	_, nn, ny := j.dims()
+	out := NewJoint2(nn, ny)
+	for _, pn := range j.P {
+		for n, py := range pn {
+			for y, v := range py {
+				out.P[n][y] += v
+			}
+		}
+	}
+	return out
+}
+
+// JointSourcesY treats the source pair (T, N) as one composite variable
+// and returns P((T,N), Y) — the table behind I(t, N; y).
+func (j *Joint3) JointSourcesY() *Joint2 {
+	nt, nn, ny := j.dims()
+	out := NewJoint2(nt*nn, ny)
+	for t, pn := range j.P {
+		for n, py := range pn {
+			for y, v := range py {
+				out.P[t*nn+n][y] += v
+			}
+		}
+	}
+	return out
+}
+
+// PID is the Partial Information Decomposition of I(t, N; y) (Eq. 3):
+//
+//	I(t, N; y) = Redundant + UniqueT + UniqueN + Synergy
+//
+// computed with the Williams–Beer I_min redundancy. All terms are in
+// bits and non-negative up to floating-point error.
+type PID struct {
+	// Redundant is R(t, N; y): information about y present in both
+	// sources.
+	Redundant float64
+	// UniqueT is U(t\N; y): information only the node's own text
+	// carries.
+	UniqueT float64
+	// UniqueN is U(N\t; y): information only the neighbor text carries.
+	UniqueN float64
+	// Synergy is S(t, N; y): information that emerges only from the
+	// combination.
+	Synergy float64
+
+	// MIT is I(t; y), MIN is I(N; y), MITotal is I(t, N; y).
+	MIT, MIN, MITotal float64
+	// HY is H(y); HYGivenT is H(y|t), the paper's saturation criterion
+	// (Definition 2: saturated ⇔ H(y|t) = 0) and the upper bound of
+	// the information gain (Eq. 6).
+	HY, HYGivenT float64
+}
+
+// InformationGain returns IG^N = I(t, N; y) − I(t; y), which equals
+// UniqueN + Synergy (Eq. 5).
+func (p PID) InformationGain() float64 { return p.MITotal - p.MIT }
+
+// specificInformation returns I(S; Y=y) for one source given its joint
+// with Y: Σ_s p(s|y) [log2(1/p(y)) − log2(1/p(y|s))].
+func specificInformation(j *Joint2, y int, py float64) float64 {
+	if py == 0 {
+		return 0
+	}
+	ps := j.MarginalX()
+	si := 0.0
+	for s, row := range j.P {
+		psy := row[y] // p(s, y)
+		if psy == 0 {
+			continue
+		}
+		pyGivenS := psy / ps[s]
+		pSGivenY := psy / py
+		si += pSGivenY * (log2(pyGivenS) - log2(py))
+	}
+	return si
+}
+
+// Decompose computes the Williams–Beer PID of the (normalized) joint.
+// Redundancy is R = Σ_y p(y) · min_i I(S_i; Y=y); the remaining terms
+// follow from the lattice identities, so Eq. 4 and Eq. 5 hold exactly.
+func (j *Joint3) Decompose() (PID, error) {
+	total := 0.0
+	for _, pn := range j.P {
+		for _, py := range pn {
+			for _, v := range py {
+				if v < 0 || math.IsNaN(v) {
+					return PID{}, fmt.Errorf("infotheory: invalid probability %v", v)
+				}
+				total += v
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return PID{}, fmt.Errorf("infotheory: joint sums to %v, want 1 (call Normalize)", total)
+	}
+
+	ty := j.JointTY()
+	ny := j.JointNY()
+	sy := j.JointSourcesY()
+	pidOut := PID{
+		MIT:     ty.MutualInformation(),
+		MIN:     ny.MutualInformation(),
+		MITotal: sy.MutualInformation(),
+	}
+	pyDist := j.MarginalY()
+	pidOut.HY = Entropy(pyDist)
+	pidOut.HYGivenT = ty.ConditionalEntropy()
+
+	red := 0.0
+	for y, py := range pyDist {
+		if py == 0 {
+			continue
+		}
+		siT := specificInformation(ty, y, py)
+		siN := specificInformation(ny, y, py)
+		red += py * math.Min(siT, siN)
+	}
+	pidOut.Redundant = clampNonNeg(red)
+	pidOut.UniqueT = clampNonNeg(pidOut.MIT - pidOut.Redundant)
+	pidOut.UniqueN = clampNonNeg(pidOut.MIN - pidOut.Redundant)
+	pidOut.Synergy = clampNonNeg(pidOut.MITotal - pidOut.Redundant - pidOut.UniqueT - pidOut.UniqueN)
+	return pidOut, nil
+}
+
+// clampNonNeg zeroes tiny negative values produced by floating-point
+// cancellation; genuinely negative PID terms cannot occur under I_min.
+func clampNonNeg(x float64) float64 {
+	if x < 0 && x > -1e-9 {
+		return 0
+	}
+	return x
+}
+
+// FromSamples estimates the joint P(T, N, Y) from parallel sample
+// slices; values must be non-negative small integers (category codes).
+func FromSamples(t, n, y []int) (*Joint3, error) {
+	if len(t) != len(n) || len(t) != len(y) {
+		return nil, fmt.Errorf("infotheory: sample slices disagree: %d/%d/%d", len(t), len(n), len(y))
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("infotheory: no samples")
+	}
+	maxOf := func(xs []int) (int, error) {
+		m := 0
+		for _, v := range xs {
+			if v < 0 {
+				return 0, fmt.Errorf("infotheory: negative category code %d", v)
+			}
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	}
+	mt, err := maxOf(t)
+	if err != nil {
+		return nil, err
+	}
+	mn, err := maxOf(n)
+	if err != nil {
+		return nil, err
+	}
+	my, err := maxOf(y)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJoint3(mt+1, mn+1, my+1)
+	inc := 1.0 / float64(len(t))
+	for i := range t {
+		j.P[t[i]][n[i]][y[i]] += inc
+	}
+	return j, nil
+}

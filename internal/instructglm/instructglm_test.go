@@ -1,0 +1,146 @@
+package instructglm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+func freshCtx(g *tag.Graph, split tag.Split, seed uint64) *predictors.Context {
+	return &predictors.Context{
+		Graph: g,
+		Known: predictors.KnownFromSplit(g, split),
+		M:     4,
+		Seed:  seed,
+	}
+}
+
+func TestBackboneLabels(t *testing.T) {
+	want := []string{
+		"1-hop, w/ raw, no path",
+		"2-hop, w/ raw, no path",
+		"2-hop, w/ raw, w/ path",
+		"1-hop, no raw, no path",
+		"2-hop, no raw, no path",
+		"2-hop, no raw, w/ path",
+	}
+	bs := All()
+	if len(bs) != len(want) {
+		t.Fatalf("All() returned %d backbones", len(bs))
+	}
+	for i, b := range bs {
+		if b.String() != want[i] {
+			t.Fatalf("backbone %d = %q, want %q", i, b.String(), want[i])
+		}
+	}
+}
+
+func TestProfilesReflectConfig(t *testing.T) {
+	raw1 := Backbone{Hops: 1, Raw: true}.Profile()
+	noraw1 := Backbone{Hops: 1, Raw: false}.Profile()
+	if noraw1.NeighborWeight >= raw1.NeighborWeight {
+		t.Fatal("dropping raw text should weaken neighbor evidence")
+	}
+	noPath := Backbone{Hops: 2, Raw: true}.Profile()
+	withPath := Backbone{Hops: 2, Raw: true, Path: true}.Profile()
+	if withPath.Temperature >= noPath.Temperature {
+		t.Fatal("path descriptions should reduce decision noise")
+	}
+}
+
+func TestMethodMatchesHops(t *testing.T) {
+	if got := (Backbone{Hops: 2, Raw: true}).Method().Name(); got != "2-hop random" {
+		t.Fatalf("method name %q", got)
+	}
+}
+
+func TestEvaluateShape(t *testing.T) {
+	spec, err := tag.SmallSpec("cora", 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 3, tag.Options{})
+	split := g.SplitPerClass(xrand.New(4), 20, 250)
+	cfg := DefaultEvaluateConfig(5)
+	cfg.Inadequacy.MLP.Epochs = 40
+	cfg.Inadequacy.MaxFeatures = 256
+
+	b := Backbone{Hops: 2, Raw: true}
+	res, err := Evaluate(g, split, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, acc := range map[string]float64{
+		"base": res.Base, "boost": res.Boost, "random": res.Random,
+		"prune": res.Prune, "both": res.Both,
+	} {
+		if acc <= 0.4 || acc > 1 {
+			t.Fatalf("variant %s accuracy %.3f implausible", name, acc)
+		}
+	}
+	// Table IX orderings (with slack for a small sample): tuned pruning
+	// beats random pruning, boosting does not hurt the base.
+	if res.Prune < res.Random-0.02 {
+		t.Fatalf("prune %.3f below random %.3f", res.Prune, res.Random)
+	}
+	if res.Boost < res.Base-0.03 {
+		t.Fatalf("boost %.3f well below base %.3f", res.Boost, res.Base)
+	}
+}
+
+// Instruction-tuned backbones must outperform the black-box profile on
+// the same data (the reason the paper treats them separately).
+func TestTunedBeatsBlackBox(t *testing.T) {
+	spec, err := tag.SmallSpec("cora", 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 7, tag.Options{})
+	split := g.SplitPerClass(xrand.New(8), 20, 250)
+
+	b := Backbone{Hops: 2, Raw: true}
+	method := b.Method()
+
+	resTuned, err := core.Execute(freshCtx(g, split, 9), method, b.NewPredictor(g, 9), core.Plan{Queries: split.Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackbox := llm.NewSim(llm.GPT35(), g.Vocab, g.Classes, 9)
+	resBB, err := core.Execute(freshCtx(g, split, 9), method, blackbox, core.Plan{Queries: split.Query})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accT := core.Accuracy(g, resTuned.Pred)
+	accB := core.Accuracy(g, resBB.Pred)
+	if accT <= accB {
+		t.Fatalf("tuned %.3f not above black-box %.3f", accT, accB)
+	}
+}
+
+// The no-raw 1-hop backbone is the paper's weakest; verify the ordering
+// against the strongest raw backbone.
+func TestBackboneOrdering(t *testing.T) {
+	spec, err := tag.SmallSpec("cora", 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 11, tag.Options{})
+	split := g.SplitPerClass(xrand.New(12), 20, 250)
+
+	acc := func(b Backbone) float64 {
+		res, err := core.Execute(freshCtx(g, split, 13), b.Method(), b.NewPredictor(g, 13), core.Plan{Queries: split.Query})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Accuracy(g, res.Pred)
+	}
+	strong := acc(Backbone{Hops: 2, Raw: true})
+	weak := acc(Backbone{Hops: 1, Raw: false})
+	if weak >= strong {
+		t.Fatalf("1-hop no-raw %.3f should trail 2-hop w/raw %.3f", weak, strong)
+	}
+}

@@ -1,0 +1,82 @@
+package linkpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tag"
+)
+
+// TestMakeDatasetProperties: for any admissible test size, the dataset
+// is balanced, positives are hidden from the visible adjacency, and
+// negatives are true non-edges — checked across seeds with quick.
+func TestMakeDatasetProperties(t *testing.T) {
+	spec, err := tag.SpecByName("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 2, tag.Options{Scale: 0.3})
+
+	f := func(seed uint64, rawN uint8) bool {
+		nTest := 2 * (int(rawN)%60 + 10) // even, 20..138
+		d, err := MakeDataset(g, nTest, seed)
+		if err != nil {
+			return false
+		}
+		pos, neg := 0, 0
+		for _, p := range d.Test {
+			if p.Positive {
+				pos++
+				// Hidden positive: the edge exists in the graph but not
+				// in the visible adjacency.
+				if !g.HasEdge(p.A, p.B) {
+					return false
+				}
+				for _, u := range d.VisibleNeighbors(p.A) {
+					if u == p.B {
+						return false
+					}
+				}
+			} else {
+				neg++
+				if g.HasEdge(p.A, p.B) {
+					return false
+				}
+			}
+			if p.A == p.B {
+				return false
+			}
+		}
+		return pos == neg && pos+neg == nTest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairInadequacyScoresInRange: D(t_i, t_j) = 1 − max prob must lie
+// in [0, 0.5] for a binary surrogate.
+func TestPairInadequacyScoresInRange(t *testing.T) {
+	spec, err := tag.SpecByName("citeseer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 3, tag.Options{Scale: 0.25})
+	d, err := MakeDataset(g, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nn.DefaultMLPConfig()
+	cfg.Epochs = 40
+	pi, err := FitPairInadequacy(d, 60, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Test {
+		s := pi.Score(d, p)
+		if s < 0 || s > 0.5+1e-9 {
+			t.Fatalf("pair (%d,%d): score %v outside [0, 0.5]", p.A, p.B, s)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package linkpred
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tag"
+	"repro/internal/token"
+)
+
+// RunConfig selects a Table X variant.
+type RunConfig struct {
+	// WithLinks includes neighbor links in prompts (false = Vanilla).
+	WithLinks bool
+	// M caps the neighbor links listed per endpoint.
+	M int
+	// PruneTau, when > 0, omits neighbor links for the top fraction of
+	// pairs ranked by ascending D(t_i, t_j) using Pruner.
+	PruneTau float64
+	// Pruner scores pairs; required when PruneTau > 0.
+	Pruner *PairInadequacy
+	// Boost enables pseudo-link feedback with round scheduling.
+	Boost bool
+	// Gamma1 is the boosting candidate threshold |N_i| >= γ1.
+	Gamma1 int
+}
+
+// RunResult reports one variant's outcome.
+type RunResult struct {
+	Accuracy float64
+	Meter    token.Meter
+	Pruned   int
+	Rounds   int
+}
+
+// clone duplicates the dataset with an independent visible adjacency so
+// boosting's pseudo-links do not leak across variants.
+func (d *Dataset) clone() *Dataset {
+	c := &Dataset{Graph: d.Graph, Test: d.Test, adj: make(map[tag.NodeID][]tag.NodeID, len(d.adj))}
+	for v, ns := range d.adj {
+		c.adj[v] = append([]tag.NodeID(nil), ns...)
+	}
+	return c
+}
+
+// linkCount returns how many neighbor links the pair's prompt would
+// list under cap m.
+func (d *Dataset) linkCount(p Pair, m int) int {
+	ca, cb := len(d.adj[p.A]), len(d.adj[p.B])
+	if ca > m {
+		ca = m
+	}
+	if cb > m {
+		cb = m
+	}
+	return ca + cb
+}
+
+// Run executes the test pairs under the configured variant and returns
+// accuracy and token usage. The input dataset is not mutated.
+func Run(d *Dataset, p LinkPredictor, cfg RunConfig) (RunResult, error) {
+	if cfg.WithLinks && cfg.M <= 0 {
+		return RunResult{}, fmt.Errorf("linkpred: WithLinks requires M > 0")
+	}
+	if cfg.PruneTau > 0 && cfg.Pruner == nil {
+		return RunResult{}, fmt.Errorf("linkpred: PruneTau set without a Pruner")
+	}
+	work := d.clone()
+
+	// Pruned pairs lose their neighbor links (Vanilla-style prompts).
+	pruned := map[[2]tag.NodeID]bool{}
+	if cfg.PruneTau > 0 && cfg.WithLinks {
+		type scored struct {
+			p Pair
+			s float64
+		}
+		ss := make([]scored, len(work.Test))
+		for i, pair := range work.Test {
+			ss[i] = scored{p: pair, s: cfg.Pruner.Score(work, pair)}
+		}
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].s < ss[j].s })
+		n := int(cfg.PruneTau*float64(len(ss)) + 0.5)
+		for _, sc := range ss[:n] {
+			pruned[sc.p.Key()] = true
+		}
+	}
+
+	var res RunResult
+	res.Pruned = len(pruned)
+	correct := 0
+	ask := func(pair Pair) (bool, error) {
+		withLinks := cfg.WithLinks && !pruned[pair.Key()]
+		resp, err := p.Query(work.BuildLinkPrompt(pair, withLinks, cfg.M))
+		if err != nil {
+			return false, err
+		}
+		res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
+		if resp.Yes == pair.Positive {
+			correct++
+		}
+		return resp.Yes, nil
+	}
+
+	if !cfg.Boost {
+		res.Rounds = 1
+		for _, pair := range work.Test {
+			if _, err := ask(pair); err != nil {
+				return RunResult{}, err
+			}
+		}
+	} else {
+		gamma1 := cfg.Gamma1
+		pending := append([]Pair(nil), work.Test...)
+		for len(pending) > 0 {
+			var batch, rest []Pair
+			for _, pair := range pending {
+				if work.linkCount(pair, cfg.M) >= gamma1 {
+					batch = append(batch, pair)
+				} else {
+					rest = append(rest, pair)
+				}
+			}
+			if len(batch) == 0 {
+				if gamma1 == 0 {
+					batch, rest = pending, nil
+				} else {
+					gamma1--
+					continue
+				}
+			}
+			res.Rounds++
+			type pseudo struct{ a, b tag.NodeID }
+			var newLinks []pseudo
+			for _, pair := range batch {
+				yes, err := ask(pair)
+				if err != nil {
+					return RunResult{}, err
+				}
+				if yes {
+					newLinks = append(newLinks, pseudo{a: pair.A, b: pair.B})
+				}
+			}
+			// Pseudo-links land after the round, as in Algorithm 2.
+			for _, l := range newLinks {
+				work.AddLink(l.a, l.b)
+			}
+			pending = rest
+		}
+	}
+	if len(work.Test) > 0 {
+		res.Accuracy = float64(correct) / float64(len(work.Test))
+	}
+	return res, nil
+}
+
+// Variants runs the paper's five Table X configurations in order:
+// Vanilla, Base, w/ boost, w/ prune, w/ both.
+func Variants(d *Dataset, p LinkPredictor, m int, pruneTau float64, gamma1 int, pruner *PairInadequacy) (map[string]RunResult, error) {
+	out := map[string]RunResult{}
+	runs := []struct {
+		name string
+		cfg  RunConfig
+	}{
+		{"vanilla", RunConfig{WithLinks: false}},
+		{"base", RunConfig{WithLinks: true, M: m}},
+		{"boost", RunConfig{WithLinks: true, M: m, Boost: true, Gamma1: gamma1}},
+		{"prune", RunConfig{WithLinks: true, M: m, PruneTau: pruneTau, Pruner: pruner}},
+		{"both", RunConfig{WithLinks: true, M: m, PruneTau: pruneTau, Pruner: pruner, Boost: true, Gamma1: gamma1}},
+	}
+	for _, r := range runs {
+		res, err := Run(d, p, r.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("linkpred: variant %s: %w", r.name, err)
+		}
+		out[r.name] = res
+	}
+	return out, nil
+}

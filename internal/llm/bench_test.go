@@ -1,0 +1,22 @@
+package llm_test
+
+import (
+	"testing"
+
+	"repro/internal/llm"
+)
+
+// BenchmarkSimQuery measures one simulated black-box query end to end
+// (prompt parse, evidence scoring, decision, token metering) — the
+// unit every experiment multiplies by thousands.
+func BenchmarkSimQuery(b *testing.B) {
+	g, promptText, _ := testGraphAndPrompt(b)
+	sim := llm.NewSim(llm.GPT35(), g.Vocab, g.Classes, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Query(promptText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

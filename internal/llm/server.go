@@ -1,0 +1,111 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Handler serves a Predictor (usually a *Sim) behind the OpenAI-
+// compatible chat-completions endpoint, so the HTTP client — and any
+// other OpenAI-compatible tooling — can drive the simulated model over
+// a real network boundary. One Handler serializes queries; the wrapped
+// Sim need not be safe for concurrent use.
+type Handler struct {
+	mu        sync.Mutex
+	predictor Predictor
+	// RequireKey, when non-empty, rejects requests whose Bearer token
+	// does not match.
+	RequireKey string
+	// requests counts completed queries (for tests and /stats).
+	requests int
+}
+
+// NewHandler wraps a predictor.
+func NewHandler(p Predictor) *Handler { return &Handler{predictor: p} }
+
+// Requests returns the number of successfully served queries.
+func (h *Handler) Requests() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.requests
+}
+
+// ServeHTTP implements http.Handler for POST /v1/chat/completions.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != ChatCompletionsPath {
+		writeAPIError(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeAPIError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if h.RequireKey != "" && r.Header.Get("Authorization") != "Bearer "+h.RequireKey {
+		writeAPIError(w, http.StatusUnauthorized, "invalid API key")
+		return
+	}
+	var req chatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if len(req.Messages) == 0 {
+		writeAPIError(w, http.StatusBadRequest, "messages must be non-empty")
+		return
+	}
+	promptText := req.Messages[len(req.Messages)-1].Content
+	if promptText == "" {
+		writeAPIError(w, http.StatusBadRequest, "empty prompt")
+		return
+	}
+
+	h.mu.Lock()
+	resp, err := h.predictor.Query(promptText)
+	if err == nil {
+		h.requests++
+	}
+	h.mu.Unlock()
+	if err != nil {
+		// An unreadable prompt is the caller's fault, not a server
+		// failure: report 400 so clients do not retry it.
+		writeAPIError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	out := map[string]any{
+		"id":      fmt.Sprintf("chatcmpl-sim-%d", time.Now().UnixNano()),
+		"object":  "chat.completion",
+		"created": time.Now().Unix(),
+		"model":   h.predictor.Name(),
+		"choices": []map[string]any{{
+			"index":         0,
+			"message":       chatMessage{Role: "assistant", Content: resp.Text},
+			"finish_reason": "stop",
+		}},
+		"usage": chatUsage{
+			PromptTokens:     resp.InputTokens,
+			CompletionTokens: resp.OutputTokens,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Headers are already written; nothing more we can do.
+		return
+	}
+}
+
+// writeAPIError emits an OpenAI-style error body.
+func writeAPIError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var body chatErrorBody
+	body.Error.Message = msg
+	body.Error.Type = "invalid_request_error"
+	if status >= 500 || status == http.StatusTooManyRequests {
+		body.Error.Type = "server_error"
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,123 @@
+package nn
+
+import "fmt"
+
+// LinReg is a ridge linear regression model fitted in closed form via
+// the normal equations. The paper's g_θ2 (Eq. 10) is exactly this: a
+// linear map from the concatenated inadequacy channels to a scalar
+// inadequacy score, fit by least squares on the calibration subset.
+type LinReg struct {
+	weights []float64 // last entry is the intercept
+}
+
+// FitLinReg solves min_w Σ (y - w·[x,1])² + lambda‖w‖² and returns the
+// model. All rows of X must share one dimensionality. lambda adds ridge
+// regularization (use a small positive value for numerical stability
+// when channels are nearly collinear).
+func FitLinReg(X [][]float64, y []float64, lambda float64) (*LinReg, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("nn: linreg needs matching non-empty X (%d) and y (%d)", len(X), len(y))
+	}
+	d := len(X[0]) + 1 // + intercept
+	for _, r := range X {
+		if len(r)+1 != d {
+			return nil, fmt.Errorf("nn: linreg ragged feature matrix")
+		}
+	}
+	// Build A = XᵀX + λI and b = Xᵀy with the intercept column folded in.
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for n, x := range X {
+		copy(row, x)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[n]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not regularize the intercept
+		A[i][i] += lambda
+	}
+	w, err := solve(A, b)
+	if err != nil {
+		return nil, err
+	}
+	return &LinReg{weights: w}, nil
+}
+
+// Predict returns w·[x,1].
+func (m *LinReg) Predict(x []float64) float64 {
+	if len(x)+1 != len(m.weights) {
+		panic("nn: linreg input dimension mismatch")
+	}
+	s := m.weights[len(m.weights)-1]
+	for i, xi := range x {
+		s += m.weights[i] * xi
+	}
+	return s
+}
+
+// Weights returns a copy of the fitted coefficients; the final entry is
+// the intercept.
+func (m *LinReg) Weights() []float64 {
+	out := make([]float64, len(m.weights))
+	copy(out, m.weights)
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy
+// of (A, b).
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r][col]) > abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("nn: singular system (column %d)", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

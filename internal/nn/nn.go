@@ -1,0 +1,380 @@
+// Package nn implements the small neural-network toolkit the paper's
+// token pruning strategy depends on, from scratch over the standard
+// library.
+//
+// Section V-A trains an MLP surrogate classifier f_θ1 on the labeled
+// set to obtain per-query class probabilities (whose entropy is one
+// inadequacy channel), uses 3-fold cross-validation to average those
+// probabilities, and fits a linear regression g_θ2 to merge the two
+// inadequacy channels into the final text-inadequacy measure D(t_i).
+// This package supplies exactly those pieces: a feed-forward MLP with
+// ReLU activations and softmax cross-entropy loss trained by Adam, a
+// k-fold ensemble wrapper, and ridge linear regression solved in closed
+// form.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// MLPConfig configures TrainMLP. The zero value is not valid; use
+// DefaultMLPConfig as a starting point.
+type MLPConfig struct {
+	Hidden      []int   // hidden layer sizes; empty trains a linear softmax model
+	LR          float64 // Adam learning rate
+	WeightDecay float64 // L2 penalty coefficient
+	Epochs      int
+	Batch       int
+	Seed        uint64
+}
+
+// DefaultMLPConfig mirrors the paper's small-dataset setting: a linear
+// model (no hidden layers), learning rate 0.01, no weight decay.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{LR: 0.01, WeightDecay: 0, Epochs: 120, Batch: 32, Seed: 1}
+}
+
+// layer is one dense layer with weights [out][in] and biases [out].
+type layer struct {
+	w [][]float64
+	b []float64
+}
+
+func newLayer(rng *xrand.RNG, in, out int) *layer {
+	l := &layer{w: make([][]float64, out), b: make([]float64, out)}
+	scale := math.Sqrt(2 / float64(in)) // He initialization
+	for o := range l.w {
+		row := make([]float64, in)
+		for i := range row {
+			row[i] = rng.NormFloat64() * scale
+		}
+		l.w[o] = row
+	}
+	return l
+}
+
+// MLP is a trained feed-forward classifier. Obtain one via TrainMLP.
+type MLP struct {
+	layers  []*layer
+	classes int
+}
+
+// Classes returns the number of output classes.
+func (m *MLP) Classes() int { return m.classes }
+
+// forward runs the network, returning every layer's post-activation
+// output (acts[0] is the input). The last entry is pre-softmax logits.
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, 0, len(m.layers)+1)
+	acts = append(acts, x)
+	cur := x
+	for li, l := range m.layers {
+		out := make([]float64, len(l.w))
+		for o, row := range l.w {
+			s := l.b[o]
+			for i, wi := range row {
+				s += wi * cur[i]
+			}
+			out[o] = s
+		}
+		if li < len(m.layers)-1 { // ReLU on hidden layers
+			for o := range out {
+				if out[o] < 0 {
+					out[o] = 0
+				}
+			}
+		}
+		acts = append(acts, out)
+		cur = out
+	}
+	return acts
+}
+
+// Softmax converts logits to a probability distribution, numerically
+// stabilized by max subtraction.
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Probs returns the class probability distribution for input x.
+func (m *MLP) Probs(x []float64) []float64 {
+	acts := m.forward(x)
+	return Softmax(acts[len(acts)-1])
+}
+
+// Predict returns the argmax class for input x.
+func (m *MLP) Predict(x []float64) int {
+	return Argmax(m.Probs(x))
+}
+
+// Argmax returns the index of the largest value (first on ties).
+func Argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero entries contribute zero.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// adamState holds per-parameter first/second moment estimates.
+type adamState struct {
+	mw, vw [][][]float64 // per layer, per out, per in
+	mb, vb [][]float64
+	t      int
+}
+
+func newAdamState(layers []*layer) *adamState {
+	s := &adamState{}
+	for _, l := range layers {
+		mw := make([][]float64, len(l.w))
+		vw := make([][]float64, len(l.w))
+		for o := range l.w {
+			mw[o] = make([]float64, len(l.w[o]))
+			vw[o] = make([]float64, len(l.w[o]))
+		}
+		s.mw = append(s.mw, mw)
+		s.vw = append(s.vw, vw)
+		s.mb = append(s.mb, make([]float64, len(l.b)))
+		s.vb = append(s.vb, make([]float64, len(l.b)))
+	}
+	return s
+}
+
+// TrainMLP fits an MLP on (X, y) with softmax cross-entropy and Adam.
+// X rows must share one dimensionality; y values must lie in
+// [0, classes). It panics on malformed input (programmer error).
+func TrainMLP(X [][]float64, y []int, classes int, cfg MLPConfig) *MLP {
+	if len(X) == 0 || len(X) != len(y) {
+		panic(fmt.Sprintf("nn: bad training set: %d rows, %d labels", len(X), len(y)))
+	}
+	if classes < 2 {
+		panic("nn: need at least two classes")
+	}
+	dim := len(X[0])
+	for _, r := range X {
+		if len(r) != dim {
+			panic("nn: ragged feature matrix")
+		}
+	}
+	for _, label := range y {
+		if label < 0 || label >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, classes))
+		}
+	}
+	if cfg.Epochs <= 0 || cfg.Batch <= 0 || cfg.LR <= 0 {
+		panic("nn: config needs positive epochs, batch and learning rate")
+	}
+
+	rng := xrand.New(cfg.Seed).SplitString("nn/mlp")
+	sizes := append([]int{dim}, cfg.Hidden...)
+	sizes = append(sizes, classes)
+	m := &MLP{classes: classes}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, newLayer(rng, sizes[i], sizes[i+1]))
+	}
+
+	adam := newAdamState(m.layers)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	// Gradient accumulators reused across batches.
+	gw := make([][][]float64, len(m.layers))
+	gb := make([][]float64, len(m.layers))
+	for li, l := range m.layers {
+		gw[li] = make([][]float64, len(l.w))
+		for o := range l.w {
+			gw[li][o] = make([]float64, len(l.w[o]))
+		}
+		gb[li] = make([]float64, len(l.b))
+	}
+	zeroGrads := func() {
+		for li := range gw {
+			for o := range gw[li] {
+				row := gw[li][o]
+				for i := range row {
+					row[i] = 0
+				}
+			}
+			for o := range gb[li] {
+				gb[li][o] = 0
+			}
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(X))
+		for start := 0; start < len(order); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			zeroGrads()
+			for _, idx := range batch {
+				x, label := X[idx], y[idx]
+				acts := m.forward(x)
+				probs := Softmax(acts[len(acts)-1])
+				// delta at output: p - onehot(y)
+				delta := make([]float64, classes)
+				copy(delta, probs)
+				delta[label]--
+				// Backpropagate.
+				for li := len(m.layers) - 1; li >= 0; li-- {
+					l := m.layers[li]
+					in := acts[li]
+					for o := range l.w {
+						d := delta[o]
+						gb[li][o] += d
+						row := gw[li][o]
+						for i, xi := range in {
+							row[i] += d * xi
+						}
+					}
+					if li > 0 {
+						prev := make([]float64, len(in))
+						for o, row := range l.w {
+							d := delta[o]
+							for i, wi := range row {
+								prev[i] += d * wi
+							}
+						}
+						// ReLU derivative on the hidden activation.
+						for i := range prev {
+							if in[i] <= 0 {
+								prev[i] = 0
+							}
+						}
+						delta = prev
+					}
+				}
+			}
+			// Adam update with batch-mean gradients.
+			adam.t++
+			invN := 1 / float64(len(batch))
+			bc1 := 1 - math.Pow(beta1, float64(adam.t))
+			bc2 := 1 - math.Pow(beta2, float64(adam.t))
+			for li, l := range m.layers {
+				for o := range l.w {
+					row := l.w[o]
+					for i := range row {
+						g := gw[li][o][i]*invN + cfg.WeightDecay*row[i]
+						adam.mw[li][o][i] = beta1*adam.mw[li][o][i] + (1-beta1)*g
+						adam.vw[li][o][i] = beta2*adam.vw[li][o][i] + (1-beta2)*g*g
+						row[i] -= cfg.LR * (adam.mw[li][o][i] / bc1) / (math.Sqrt(adam.vw[li][o][i]/bc2) + eps)
+					}
+					g := gb[li][o] * invN
+					adam.mb[li][o] = beta1*adam.mb[li][o] + (1-beta1)*g
+					adam.vb[li][o] = beta2*adam.vb[li][o] + (1-beta2)*g*g
+					l.b[o] -= cfg.LR * (adam.mb[li][o] / bc1) / (math.Sqrt(adam.vb[li][o]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Ensemble averages the probability outputs of several classifiers, as
+// the paper does across cross-validation folds.
+type Ensemble struct {
+	models []*MLP
+}
+
+// Models returns the number of member models.
+func (e *Ensemble) Models() int { return len(e.models) }
+
+// Probs returns the average probability distribution across members.
+func (e *Ensemble) Probs(x []float64) []float64 {
+	if len(e.models) == 0 {
+		panic("nn: empty ensemble")
+	}
+	out := make([]float64, e.models[0].classes)
+	for _, m := range e.models {
+		p := m.Probs(x)
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(e.models))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Predict returns the argmax class of the averaged distribution.
+func (e *Ensemble) Predict(x []float64) int { return Argmax(e.Probs(x)) }
+
+// TrainKFold trains k models, each on k-1 folds of (X, y), and returns
+// their ensemble. With k <= 1 it trains a single model on all data.
+// This mirrors the paper's "3-fold cross-validation to obtain the
+// average category probability distribution".
+func TrainKFold(X [][]float64, y []int, classes, k int, cfg MLPConfig) *Ensemble {
+	if k <= 1 || len(X) < 2*k {
+		return &Ensemble{models: []*MLP{TrainMLP(X, y, classes, cfg)}}
+	}
+	rng := xrand.New(cfg.Seed).SplitString("nn/kfold")
+	perm := rng.Perm(len(X))
+	e := &Ensemble{}
+	for fold := 0; fold < k; fold++ {
+		var tx [][]float64
+		var ty []int
+		for i, idx := range perm {
+			if i%k == fold {
+				continue // held out
+			}
+			tx = append(tx, X[idx])
+			ty = append(ty, y[idx])
+		}
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed + uint64(fold)*7919
+		e.models = append(e.models, TrainMLP(tx, ty, classes, foldCfg))
+	}
+	return e
+}
+
+// Accuracy computes the fraction of rows a probabilistic classifier
+// assigns to the true class.
+func Accuracy(probs func([]float64) []float64, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if Argmax(probs(x)) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

@@ -1,0 +1,364 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// blobs generates a linearly separable 2-D dataset with `classes`
+// Gaussian clusters.
+func blobs(seed uint64, n, classes int, spread float64) ([][]float64, []int) {
+	rng := xrand.New(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		k := i % classes
+		angle := 2 * math.Pi * float64(k) / float64(classes)
+		cx, cy := 3*math.Cos(angle), 3*math.Sin(angle)
+		X[i] = []float64{cx + spread*rng.NormFloat64(), cy + spread*rng.NormFloat64()}
+		y[i] = k
+	}
+	return X, y
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3, 4})
+	var sum float64
+	for _, v := range p {
+		sum += v
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax component %v out of (0,1)", v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	p := Softmax([]float64{1000, 1001, 999})
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax unstable: %v", p)
+		}
+	}
+	if Argmax(p) != 1 {
+		t.Fatalf("argmax of %v should be 1", p)
+	}
+}
+
+func TestSoftmaxOrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Tanh(a)*10, math.Tanh(b)*10
+		p := Softmax([]float64{a, b})
+		return (a >= b) == (p[0] >= p[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if Argmax([]float64{5}) != 0 {
+		t.Fatal("single-element argmax wrong")
+	}
+	if Argmax([]float64{2, 2, 1}) != 0 {
+		t.Fatal("tie should pick first")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Fatalf("entropy of point mass = %v, want 0", got)
+	}
+	k := 5
+	uni := make([]float64, k)
+	for i := range uni {
+		uni[i] = 1 / float64(k)
+	}
+	want := math.Log(float64(k))
+	if got := Entropy(uni); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want %v", got, want)
+	}
+}
+
+func TestQuickEntropyNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			p[i] = math.Abs(math.Tanh(v))
+			sum += p[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		h := Entropy(p)
+		return h >= 0 && h <= math.Log(float64(len(p)))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearModelLearnsBlobs(t *testing.T) {
+	X, y := blobs(1, 300, 3, 0.5)
+	cfg := DefaultMLPConfig()
+	m := TrainMLP(X, y, 3, cfg)
+	acc := Accuracy(m.Probs, X, y)
+	if acc < 0.95 {
+		t.Fatalf("linear model train accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestHiddenLayerLearnsXOR(t *testing.T) {
+	// XOR is not linearly separable; a hidden layer must solve it.
+	var X [][]float64
+	var y []int
+	rng := xrand.New(2)
+	for i := 0; i < 400; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		X = append(X, []float64{
+			float64(a) + 0.1*rng.NormFloat64(),
+			float64(b) + 0.1*rng.NormFloat64(),
+		})
+		y = append(y, a^b)
+	}
+	cfg := MLPConfig{Hidden: []int{16}, LR: 0.01, Epochs: 300, Batch: 32, Seed: 3}
+	m := TrainMLP(X, y, 2, cfg)
+	if acc := Accuracy(m.Probs, X, y); acc < 0.95 {
+		t.Fatalf("MLP XOR accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestGeneralizationToHeldOut(t *testing.T) {
+	X, y := blobs(4, 400, 4, 0.6)
+	Xtr, ytr := X[:300], y[:300]
+	Xte, yte := X[300:], y[300:]
+	m := TrainMLP(Xtr, ytr, 4, DefaultMLPConfig())
+	if acc := Accuracy(m.Probs, Xte, yte); acc < 0.9 {
+		t.Fatalf("held-out accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	X, y := blobs(5, 120, 3, 0.5)
+	cfg := DefaultMLPConfig()
+	m1 := TrainMLP(X, y, 3, cfg)
+	m2 := TrainMLP(X, y, 3, cfg)
+	p1, p2 := m1.Probs(X[0]), m2.Probs(X[0])
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("identical configs produced different models")
+		}
+	}
+}
+
+func TestProbsAreDistribution(t *testing.T) {
+	X, y := blobs(6, 90, 3, 0.5)
+	m := TrainMLP(X, y, 3, DefaultMLPConfig())
+	for _, x := range X[:20] {
+		p := m.Probs(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestEntropyLowerOnEasyPoints(t *testing.T) {
+	// Points near a cluster center must get lower predictive entropy
+	// than points between clusters — the property the inadequacy
+	// measure's entropy channel relies on.
+	X, y := blobs(7, 300, 2, 0.4)
+	m := TrainMLP(X, y, 2, DefaultMLPConfig())
+	easy := m.Probs([]float64{3, 0}) // center of class 0
+	hard := m.Probs([]float64{0, 0}) // midpoint between clusters
+	if Entropy(easy) >= Entropy(hard) {
+		t.Fatalf("easy entropy %v not below hard entropy %v", Entropy(easy), Entropy(hard))
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { TrainMLP(nil, nil, 2, DefaultMLPConfig()) },
+		func() { TrainMLP([][]float64{{1}}, []int{0, 1}, 2, DefaultMLPConfig()) },
+		func() { TrainMLP([][]float64{{1}, {2, 3}}, []int{0, 1}, 2, DefaultMLPConfig()) },
+		func() { TrainMLP([][]float64{{1}, {2}}, []int{0, 5}, 2, DefaultMLPConfig()) },
+		func() { TrainMLP([][]float64{{1}, {2}}, []int{0, 1}, 1, DefaultMLPConfig()) },
+		func() { TrainMLP([][]float64{{1}, {2}}, []int{0, 1}, 2, MLPConfig{}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKFoldEnsembleSize(t *testing.T) {
+	X, y := blobs(8, 200, 3, 0.5)
+	e := TrainKFold(X, y, 3, 3, DefaultMLPConfig())
+	if e.Models() != 3 {
+		t.Fatalf("ensemble has %d models, want 3", e.Models())
+	}
+	// Degenerate k falls back to a single model.
+	e1 := TrainKFold(X[:4], y[:4], 3, 3, DefaultMLPConfig())
+	if e1.Models() != 1 {
+		t.Fatalf("tiny dataset ensemble has %d models, want 1", e1.Models())
+	}
+}
+
+func TestKFoldEnsembleAccuracy(t *testing.T) {
+	X, y := blobs(9, 400, 3, 0.6)
+	e := TrainKFold(X[:300], y[:300], 3, 3, DefaultMLPConfig())
+	if acc := Accuracy(e.Probs, X[300:], y[300:]); acc < 0.9 {
+		t.Fatalf("k-fold held-out accuracy %.3f", acc)
+	}
+}
+
+func TestEnsembleProbsAreDistribution(t *testing.T) {
+	X, y := blobs(10, 150, 3, 0.5)
+	e := TrainKFold(X, y, 3, 3, DefaultMLPConfig())
+	p := e.Probs(X[0])
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ensemble probs sum to %v", sum)
+	}
+}
+
+func TestLinRegRecoversCoefficients(t *testing.T) {
+	rng := xrand.New(11)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		y = append(y, 2*a-3*b+0.5)
+	}
+	m, err := FitLinReg(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Weights()
+	for i, want := range []float64{2, -3, 0.5} {
+		if math.Abs(w[i]-want) > 1e-6 {
+			t.Fatalf("weight %d = %v, want %v", i, w[i], want)
+		}
+	}
+}
+
+func TestLinRegPredict(t *testing.T) {
+	m, err := FitLinReg([][]float64{{0}, {1}, {2}, {3}}, []float64{1, 3, 5, 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{10}); math.Abs(got-21) > 1e-6 {
+		t.Fatalf("Predict(10) = %v, want 21", got)
+	}
+}
+
+func TestLinRegRidgeShrinks(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	m0, err := FitLinReg(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mR, err := FitLinReg(X, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mR.Weights()[0]) >= math.Abs(m0.Weights()[0]) {
+		t.Fatal("ridge penalty did not shrink the slope")
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := FitLinReg(nil, nil, 0); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := FitLinReg([][]float64{{1}, {2, 3}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected error on ragged input")
+	}
+	// Singular: duplicated feature columns with no ridge.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := FitLinReg(X, []float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("expected error on singular system")
+	}
+	// Ridge rescues it.
+	if _, err := FitLinReg(X, []float64{1, 2, 3}, 1e-3); err != nil {
+		t.Fatalf("ridge should handle collinearity: %v", err)
+	}
+}
+
+func TestLinRegPredictDimensionPanic(t *testing.T) {
+	m, err := FitLinReg([][]float64{{1, 2}, {2, 1}, {0, 1}}, []float64{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+// Property: fitted linear regression reproduces exact linear data for
+// random coefficient choices.
+func TestQuickLinRegExact(t *testing.T) {
+	f := func(seed uint64, wRaw, bRaw float64) bool {
+		w := math.Tanh(wRaw) * 5
+		b := math.Tanh(bRaw) * 5
+		rng := xrand.New(seed)
+		var X [][]float64
+		var y []float64
+		for i := 0; i < 30; i++ {
+			x := rng.Float64() * 10
+			X = append(X, []float64{x})
+			y = append(y, w*x+b)
+		}
+		m, err := FitLinReg(X, y, 0)
+		if err != nil {
+			// Degenerate draws (all-identical x) may be singular.
+			return true
+		}
+		got := m.Predict([]float64{5})
+		return math.Abs(got-(w*5+b)) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := Accuracy(func([]float64) []float64 { return nil }, nil, nil); got != 0 {
+		t.Fatalf("Accuracy on empty = %v, want 0", got)
+	}
+}

@@ -1,0 +1,318 @@
+package predictors
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prompt"
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+func testContext(t testing.TB, nodes int, seed uint64) (*Context, tag.Split) {
+	t.Helper()
+	spec, err := tag.SmallSpec("cora", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, seed, tag.Options{})
+	split := g.SplitPerClass(xrand.New(seed+1), 10, nodes/4)
+	ctx := &Context{
+		Graph: g,
+		Known: KnownFromSplit(g, split),
+		M:     4,
+		Seed:  seed,
+	}
+	return ctx, split
+}
+
+func TestVanillaSelectsNothing(t *testing.T) {
+	ctx, split := testContext(t, 400, 1)
+	if sel := (Vanilla{}).Select(ctx, split.Query[0]); sel != nil {
+		t.Fatalf("vanilla selected %v", sel)
+	}
+	if (Vanilla{}).Name() != "vanilla zero-shot" {
+		t.Fatal("vanilla name wrong")
+	}
+}
+
+func TestKHopRespectsM(t *testing.T) {
+	ctx, split := testContext(t, 400, 2)
+	m := KHopRandom{K: 2}
+	for _, v := range split.Query[:50] {
+		sel := m.Select(ctx, v)
+		if len(sel) > ctx.M {
+			t.Fatalf("selected %d neighbors, cap %d", len(sel), ctx.M)
+		}
+	}
+}
+
+func TestKHopSelectsFromNeighborhood(t *testing.T) {
+	ctx, split := testContext(t, 400, 3)
+	m := KHopRandom{K: 1}
+	for _, v := range split.Query[:50] {
+		hood, _ := ctx.Graph.KHop(v, 1)
+		inHood := map[tag.NodeID]bool{}
+		for _, u := range hood {
+			inHood[u] = true
+		}
+		for _, s := range m.Select(ctx, v) {
+			if !inHood[s.ID] {
+				t.Fatalf("node %d selected non-neighbor %d", v, s.ID)
+			}
+		}
+	}
+}
+
+func TestKHopPrefersLabeled(t *testing.T) {
+	ctx, split := testContext(t, 600, 4)
+	m := KHopRandom{K: 2}
+	for _, v := range split.Query[:80] {
+		hood, _ := ctx.Graph.KHop(v, 2)
+		availLabeled := 0
+		for _, u := range hood {
+			if ctx.Known[u] != "" {
+				availLabeled++
+			}
+		}
+		sel := m.Select(ctx, v)
+		gotLabeled := CountLabeled(sel)
+		wantLabeled := availLabeled
+		if wantLabeled > ctx.M {
+			wantLabeled = ctx.M
+		}
+		if gotLabeled != wantLabeled {
+			t.Fatalf("node %d: selected %d labeled, want %d (available %d)",
+				v, gotLabeled, wantLabeled, availLabeled)
+		}
+	}
+}
+
+func TestKHopDeterministicPerNode(t *testing.T) {
+	ctx, split := testContext(t, 400, 5)
+	m := KHopRandom{K: 2}
+	v := split.Query[0]
+	a := m.Select(ctx, v)
+	// Selecting other nodes in between must not change v's draw.
+	for _, u := range split.Query[1:10] {
+		m.Select(ctx, u)
+	}
+	b := m.Select(ctx, v)
+	if len(a) != len(b) {
+		t.Fatal("selection changed across calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selection order-dependent")
+		}
+	}
+}
+
+func TestKHopLabelsMatchKnown(t *testing.T) {
+	ctx, split := testContext(t, 400, 6)
+	m := KHopRandom{K: 1}
+	for _, v := range split.Query[:50] {
+		for _, s := range m.Select(ctx, v) {
+			if s.Label != ctx.Known[s.ID] {
+				t.Fatalf("selected label %q != known %q", s.Label, ctx.Known[s.ID])
+			}
+		}
+	}
+}
+
+func TestKHopPanicsOnBadK(t *testing.T) {
+	ctx, split := testContext(t, 100, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for K=0")
+		}
+	}()
+	KHopRandom{K: 0}.Select(ctx, split.Query[0])
+}
+
+func TestSNSOnlyLabeledRankedBySimilarity(t *testing.T) {
+	ctx, split := testContext(t, 600, 8)
+	m := SNS{}
+	sim := ctx.similarity()
+	for _, v := range split.Query[:40] {
+		sel := m.Select(ctx, v)
+		if len(sel) > ctx.M {
+			t.Fatalf("SNS selected %d > M", len(sel))
+		}
+		for i, s := range sel {
+			if s.Label == "" {
+				t.Fatal("SNS selected unlabeled neighbor")
+			}
+			if i > 0 {
+				prev := sim.Score(v, sel[i-1].ID)
+				cur := sim.Score(v, s.ID)
+				if cur > prev+1e-12 {
+					t.Fatalf("SNS ranking violated: %v then %v", prev, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestSNSExpandsHopsWhenSparse(t *testing.T) {
+	// With very few labeled nodes, 1-hop rarely contains them; SNS must
+	// still find labeled nodes by exploring farther.
+	spec, err := tag.SmallSpec("cora", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 9, tag.Options{})
+	split := g.SplitPerClass(xrand.New(10), 2, 150)
+	ctx := &Context{Graph: g, Known: KnownFromSplit(g, split), M: 4, Seed: 9}
+	found := 0
+	for _, v := range split.Query[:60] {
+		direct := 0
+		for _, u := range g.Neighbors(v) {
+			if ctx.Known[u] != "" {
+				direct++
+			}
+		}
+		sel := SNS{}.Select(ctx, v)
+		if len(sel) > direct {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("SNS never expanded beyond direct labeled neighbors")
+	}
+}
+
+func TestSNSNoLabeledAnywhere(t *testing.T) {
+	ctx, split := testContext(t, 300, 11)
+	ctx.Known = map[tag.NodeID]string{}
+	if sel := (SNS{}).Select(ctx, split.Query[0]); len(sel) != 0 {
+		t.Fatalf("SNS with no labels selected %v", sel)
+	}
+}
+
+func TestCountLabeledAndConflicts(t *testing.T) {
+	sel := []Selected{
+		{ID: 1, Label: "A"}, {ID: 2, Label: "B"}, {ID: 3, Label: "A"}, {ID: 4},
+	}
+	if got := CountLabeled(sel); got != 3 {
+		t.Fatalf("CountLabeled = %d, want 3", got)
+	}
+	if got := LabelConflicts(sel); got != 2 {
+		t.Fatalf("LabelConflicts = %d, want 2", got)
+	}
+	if got := LabelConflicts(nil); got != 0 {
+		t.Fatalf("LabelConflicts(nil) = %d, want 0", got)
+	}
+}
+
+func TestBuildPromptParses(t *testing.T) {
+	ctx, split := testContext(t, 400, 12)
+	v := split.Query[0]
+	sel := KHopRandom{K: 2}.Select(ctx, v)
+	p := BuildPrompt(ctx, v, sel, false)
+	parsed, err := prompt.Parse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.NeighborTexts) != len(sel) {
+		t.Fatalf("prompt has %d neighbors, selected %d", len(parsed.NeighborTexts), len(sel))
+	}
+	if len(parsed.Categories) != len(ctx.Graph.Classes) {
+		t.Fatal("prompt category list wrong")
+	}
+}
+
+func TestBuildPromptAbstracts(t *testing.T) {
+	ctx, split := testContext(t, 400, 13)
+	v := split.Query[0]
+	sel := KHopRandom{K: 1}.Select(ctx, v)
+	if len(sel) == 0 {
+		t.Skip("isolated query node")
+	}
+	short := BuildPrompt(ctx, v, sel, false)
+	ctx.IncludeAbstracts = true
+	long := BuildPrompt(ctx, v, sel, false)
+	if len(long) <= len(short) {
+		t.Fatal("IncludeAbstracts did not lengthen prompt")
+	}
+}
+
+func TestBuildPromptRanked(t *testing.T) {
+	ctx, split := testContext(t, 400, 14)
+	v := split.Query[0]
+	sel := []Selected{{ID: split.Labeled[0], Label: "Theory"}}
+	p := BuildPrompt(ctx, v, sel, true)
+	if !strings.Contains(p, "from most related to least related") {
+		t.Fatal("ranked prompt missing phrase")
+	}
+}
+
+func TestKnownFromSplit(t *testing.T) {
+	ctx, split := testContext(t, 400, 15)
+	g := ctx.Graph
+	known := KnownFromSplit(g, split)
+	if len(known) != len(split.Labeled) {
+		t.Fatalf("known size %d, want %d", len(known), len(split.Labeled))
+	}
+	for _, v := range split.Labeled {
+		if known[v] != g.Classes[g.Nodes[v].Label] {
+			t.Fatalf("known[%d] = %q, want true class", v, known[v])
+		}
+	}
+}
+
+func TestStandardMethodNames(t *testing.T) {
+	ms := Standard()
+	want := []string{"1-hop random", "2-hop random", "SNS"}
+	if len(ms) != len(want) {
+		t.Fatalf("Standard() returned %d methods", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("method %d name %q, want %q", i, m.Name(), want[i])
+		}
+	}
+	if ms[0].Ranked() || ms[1].Ranked() || !ms[2].Ranked() {
+		t.Fatal("Ranked flags wrong")
+	}
+}
+
+func TestPseudoLabelVisibleToSelection(t *testing.T) {
+	// Adding a pseudo-label to Known must make k-hop prefer that node —
+	// the mechanism query boosting relies on.
+	ctx, split := testContext(t, 400, 16)
+	m := KHopRandom{K: 1}
+	var v tag.NodeID
+	var target tag.NodeID = -1
+	for _, q := range split.Query {
+		for _, u := range ctx.Graph.Neighbors(q) {
+			if ctx.Known[u] == "" && ctx.Graph.Degree(q) > ctx.M {
+				v, target = q, u
+				break
+			}
+		}
+		if target >= 0 {
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no suitable query node")
+	}
+	ctx.Known[target] = ctx.Graph.Classes[0]
+	sel := m.Select(ctx, v)
+	found := false
+	for _, s := range sel {
+		if s.ID == target && s.Label == ctx.Graph.Classes[0] {
+			found = true
+		}
+	}
+	labeledAvail := 0
+	for _, u := range ctx.Graph.Neighbors(v) {
+		if ctx.Known[u] != "" {
+			labeledAvail++
+		}
+	}
+	if labeledAvail <= ctx.M && !found {
+		t.Fatal("pseudo-labeled neighbor not preferred by selection")
+	}
+}

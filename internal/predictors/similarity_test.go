@@ -1,0 +1,76 @@
+package predictors
+
+import (
+	"testing"
+
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+func TestNewSimilarityDense(t *testing.T) {
+	vecs := [][]float64{
+		{1, 0, 0},
+		{0.9, 0.1, 0},
+		{0, 0, 1},
+	}
+	s := NewSimilarityDense(vecs)
+	if same := s.Score(0, 1); same <= s.Score(0, 2) {
+		t.Errorf("aligned pair scored %.3f, orthogonal pair %.3f", same, s.Score(0, 2))
+	}
+	if self := s.Score(2, 2); self < 0.999 {
+		t.Errorf("self-similarity %.3f, want 1", self)
+	}
+	// Zero rows are allowed and score zero.
+	z := NewSimilarityDense([][]float64{{0, 0}, {1, 0}})
+	if got := z.Score(0, 1); got != 0 {
+		t.Errorf("zero-vector similarity %.3f, want 0", got)
+	}
+}
+
+// TestSetSimilarityChangesSNSSelection verifies an injected backend
+// actually drives SNS: an adversarial index that inverts similarity
+// must change which neighbors rank first.
+func TestSetSimilarityChangesSNSSelection(t *testing.T) {
+	spec, err := tag.SpecByName("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tag.Generate(spec, 23, tag.Options{Scale: 0.2})
+	split := g.SplitPerClass(xrand.New(24), 20, 100)
+	newCtx := func() *Context {
+		return &Context{Graph: g, Known: KnownFromSplit(g, split), M: 2, Seed: 7}
+	}
+
+	base := NewSimilarity(g)
+	ctxA := newCtx()
+	ctxA.SetSimilarity(base)
+	ctxB := newCtx()
+	anti := make([][]float64, g.NumNodes())
+	for i := range anti {
+		// A one-hot on node id modulo 2 dimensions: unrelated to text,
+		// so rankings must differ from the TF-IDF backend's.
+		v := make([]float64, 2)
+		v[i%2] = 1
+		anti[i] = v
+	}
+	ctxB.SetSimilarity(NewSimilarityDense(anti))
+
+	diffs := 0
+	for _, v := range split.Query {
+		a := SNS{}.Select(ctxA, v)
+		b := SNS{}.Select(ctxB, v)
+		if len(a) != len(b) {
+			diffs++
+			continue
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				diffs++
+				break
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Error("injected similarity backend did not change any SNS selection")
+	}
+}

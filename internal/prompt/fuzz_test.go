@@ -1,0 +1,112 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse hardens the prompt parser against adversarial or corrupted
+// prompt text: it must never panic, and on success its output must be
+// internally consistent.
+func FuzzParse(f *testing.F) {
+	f.Add(Build(Request{
+		TargetTitle:    "a title",
+		TargetAbstract: "an abstract body",
+		Categories:     []string{"A", "B"},
+	}))
+	f.Add(Build(Request{
+		TargetTitle: "t",
+		Neighbors: []Neighbor{
+			{Title: "n0", Label: "A"},
+			{Title: "n1", Abstract: "abs"},
+		},
+		Categories:   []string{"A", "B", "C"},
+		Ranked:       true,
+		NodeType:     "product",
+		EdgeRelation: "co-purchase",
+	}))
+	f.Add("Target paper: Title: x \nAbstract:  \nTask: \nCategories: \n[A]\n")
+	f.Add("")
+	f.Add("Neighbor Paper0: {{\nTitle: orphan \n}}")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := Parse(s)
+		if err != nil {
+			return
+		}
+		for _, c := range parsed.Categories {
+			if strings.ContainsAny(c, "\n") {
+				t.Fatalf("category %q contains newline", c)
+			}
+		}
+		if len(parsed.NeighborLabels) != len(parsed.NeighborTexts) {
+			t.Fatalf("labels/texts mismatch: %d vs %d",
+				len(parsed.NeighborLabels), len(parsed.NeighborTexts))
+		}
+	})
+}
+
+// FuzzParseResponse checks the response parser never panics and only
+// returns non-empty categories.
+func FuzzParseResponse(f *testing.F) {
+	f.Add("Category: ['Theory']")
+	f.Add("noise before Category: ['A'] noise after")
+	f.Add("['']")
+	f.Add("[' ']")
+	f.Add("Category: [unterminated")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseResponse(s)
+		if err != nil {
+			return
+		}
+		if c == "" {
+			t.Fatal("empty category accepted")
+		}
+		if !utf8.ValidString(c) && utf8.ValidString(s) {
+			t.Fatalf("invalid UTF-8 category %q from valid input", c)
+		}
+	})
+}
+
+// FuzzBuildParseRoundTrip: any prompt this package builds, it must be
+// able to read back.
+func FuzzBuildParseRoundTrip(f *testing.F) {
+	f.Add("title words", "abstract words here", "Alpha", "n title", "Beta", true)
+	f.Add("", "", "X", "", "", false)
+
+	f.Fuzz(func(t *testing.T, title, abstract, cat, nbTitle, nbLabel string, ranked bool) {
+		// Newlines inside fields would break the line-oriented template
+		// by design; normalize as a prompt builder caller must.
+		clean := func(s string) string {
+			return strings.Join(strings.Fields(s), " ")
+		}
+		title, abstract = clean(title), clean(abstract)
+		cat = clean(cat)
+		nbTitle, nbLabel = clean(nbTitle), clean(nbLabel)
+		if cat == "" {
+			cat = "Fallback"
+		}
+		req := Request{
+			TargetTitle:    title,
+			TargetAbstract: abstract,
+			Categories:     []string{cat},
+			Ranked:         ranked,
+		}
+		if nbTitle != "" {
+			req.Neighbors = []Neighbor{{Title: nbTitle, Label: nbLabel}}
+		}
+		parsed, err := Parse(Build(req))
+		if err != nil {
+			t.Fatalf("cannot parse own prompt: %v", err)
+		}
+		if len(parsed.Categories) != 1 || parsed.Categories[0] != cat {
+			t.Fatalf("categories %v, want [%q]", parsed.Categories, cat)
+		}
+		if nbTitle != "" && len(parsed.NeighborTexts) != 1 {
+			t.Fatalf("neighbor lost: %v", parsed.NeighborTexts)
+		}
+	})
+}

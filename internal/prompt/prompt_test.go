@@ -1,0 +1,229 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRequest() Request {
+	return Request{
+		TargetTitle:    "a study of gradient methods",
+		TargetAbstract: "we analyze convergence of gradient descent on convex objectives",
+		Neighbors: []Neighbor{
+			{Title: "stochastic optimization basics", Label: "Theory"},
+			{Title: "neural network training dynamics"},
+		},
+		Categories:   []string{"Theory", "Neural-Networks", "Case-Based"},
+		NodeType:     "paper",
+		EdgeRelation: "citation",
+	}
+}
+
+func TestBuildContainsSections(t *testing.T) {
+	p := Build(sampleRequest())
+	for _, want := range []string{
+		"Target paper: Title: a study of gradient methods",
+		"Abstract: we analyze convergence",
+		"Neighbor Paper0",
+		"Neighbor Paper1",
+		"Category: Theory",
+		"[Theory, Neural-Networks, Case-Based]",
+		"Which category does the target paper belong to?",
+		"Category: ['XX']",
+	} {
+		if !strings.Contains(p, want) {
+			t.Fatalf("prompt missing %q:\n%s", want, p)
+		}
+	}
+}
+
+func TestBuildVanillaHasNoNeighborBlock(t *testing.T) {
+	r := sampleRequest()
+	r.Neighbors = nil
+	p := Build(r)
+	if strings.Contains(p, "Neighbor") || strings.Contains(p, "neighbors") {
+		t.Fatalf("vanilla prompt mentions neighbors:\n%s", p)
+	}
+}
+
+func TestBuildRankedPhrase(t *testing.T) {
+	r := sampleRequest()
+	r.Ranked = true
+	p := Build(r)
+	if !strings.Contains(p, "from most related to least related") {
+		t.Fatal("ranked prompt missing SNS phrase")
+	}
+	r.Ranked = false
+	if strings.Contains(Build(r), "from most related") {
+		t.Fatal("unranked prompt contains SNS phrase")
+	}
+}
+
+func TestBuildProductVariant(t *testing.T) {
+	r := sampleRequest()
+	r.NodeType = "Product"
+	r.EdgeRelation = "co-purchase"
+	p := Build(r)
+	if !strings.Contains(p, "Target product") {
+		t.Fatalf("product prompt wrong target line:\n%s", p)
+	}
+	if !strings.Contains(p, "co-purchase relationships") {
+		t.Fatal("product prompt missing edge relation")
+	}
+	if !strings.Contains(p, "Neighbor Product0") {
+		t.Fatal("product prompt missing neighbor entries")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := sampleRequest()
+	parsed, err := Parse(Build(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTarget := r.TargetTitle + " " + r.TargetAbstract
+	if parsed.TargetText != wantTarget {
+		t.Fatalf("target = %q, want %q", parsed.TargetText, wantTarget)
+	}
+	if len(parsed.NeighborTexts) != 2 {
+		t.Fatalf("parsed %d neighbors, want 2", len(parsed.NeighborTexts))
+	}
+	if parsed.NeighborTexts[0] != "stochastic optimization basics" {
+		t.Fatalf("neighbor 0 text = %q", parsed.NeighborTexts[0])
+	}
+	if parsed.NeighborLabels[0] != "Theory" || parsed.NeighborLabels[1] != "" {
+		t.Fatalf("neighbor labels = %v", parsed.NeighborLabels)
+	}
+	if len(parsed.Categories) != 3 || parsed.Categories[1] != "Neural-Networks" {
+		t.Fatalf("categories = %v", parsed.Categories)
+	}
+}
+
+func TestParseVanillaRoundTrip(t *testing.T) {
+	r := sampleRequest()
+	r.Neighbors = nil
+	parsed, err := Parse(Build(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.NeighborTexts) != 0 {
+		t.Fatalf("vanilla prompt parsed %d neighbors", len(parsed.NeighborTexts))
+	}
+}
+
+func TestParseNeighborAbstract(t *testing.T) {
+	r := sampleRequest()
+	r.Neighbors = []Neighbor{{Title: "short title", Abstract: "long abstract text", Label: "AI"}}
+	parsed, err := Parse(Build(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NeighborTexts[0] != "short title long abstract text" {
+		t.Fatalf("neighbor text = %q", parsed.NeighborTexts[0])
+	}
+	if parsed.NeighborLabels[0] != "AI" {
+		t.Fatalf("neighbor label = %q", parsed.NeighborLabels[0])
+	}
+}
+
+func TestParseRankedFlag(t *testing.T) {
+	r := sampleRequest()
+	r.Ranked = true
+	parsed, err := Parse(Build(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Ranked {
+		t.Fatal("Ranked flag not recovered")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"hello world",
+		"Target paper: Title: x \nno abstract here",
+		"Target paper: Title: x \nAbstract: y \nTask: \nnope",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	s := FormatResponse("Neural-Networks")
+	got, err := ParseResponse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Neural-Networks" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestParseResponseTolerant(t *testing.T) {
+	got, err := ParseResponse("Sure! The answer is Category: ['Theory'] based on the text.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Theory" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	for _, bad := range []string{"", "Category: Theory", "Category: ['", "Category: ['']"} {
+		if _, err := ParseResponse(bad); err == nil {
+			t.Fatalf("ParseResponse(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: Build/Parse round-trips neighbor labels for arbitrary
+// word-like inputs.
+func TestQuickRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		// Keep inputs word-like: the templates are line-oriented, so
+		// embedded newlines would be a different (invalid) request.
+		s = strings.ReplaceAll(s, "\n", " ")
+		s = strings.ReplaceAll(s, "{", "(")
+		s = strings.ReplaceAll(s, "}", ")")
+		s = strings.ReplaceAll(s, "[", "(")
+		s = strings.ReplaceAll(s, "]", ")")
+		s = strings.ReplaceAll(s, ",", ";")
+		s = strings.TrimSpace(s)
+		if s == "" {
+			s = "x"
+		}
+		return s
+	}
+	f := func(title, abstract, nbTitle, label string) bool {
+		r := Request{
+			TargetTitle:    clean(title),
+			TargetAbstract: clean(abstract),
+			Neighbors:      []Neighbor{{Title: clean(nbTitle), Label: clean(label)}},
+			Categories:     []string{clean(label), "Other"},
+		}
+		parsed, err := Parse(Build(r))
+		if err != nil {
+			return false
+		}
+		return parsed.NeighborLabels[0] == clean(label) &&
+			len(parsed.Categories) == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromptTokenCostGrowsWithNeighbors(t *testing.T) {
+	r := sampleRequest()
+	withNb := Build(r)
+	r.Neighbors = nil
+	vanilla := Build(r)
+	if len(withNb) <= len(vanilla) {
+		t.Fatal("neighbor text did not increase prompt size")
+	}
+}

@@ -1,0 +1,188 @@
+// Package tablefmt renders experiment results as aligned ASCII tables
+// and simple line-series blocks, so every table and figure of the paper
+// can be regenerated as text by cmd/mqobench and the benchmarks.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells extend
+// the grid.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		// Trim trailing padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for i, w := range widths {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.1f", 100*v)
+}
+
+// PctDelta formats a relative change as a signed percentage with two
+// decimals, as in the paper's Δ% rows.
+func PctDelta(v float64) string {
+	return fmt.Sprintf("%+.2f%%", 100*v)
+}
+
+// Int formats an integer with thousands separators, as in Table V.
+func Int(n int64) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Series is one named line in a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// RenderSeries renders a figure as a grid: one column per x tick, one
+// row per series, followed by a coarse ASCII plot per series.
+func RenderSeries(title string, xs []string, series []Series, prec int) string {
+	t := New(title, append([]string{"series"}, xs...)...)
+	for _, s := range series {
+		row := make([]string, 0, len(s.Y)+1)
+		row = append(row, s.Name)
+		for _, y := range s.Y {
+			row = append(row, F(y, prec))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Bar renders a labeled horizontal bar chart scaled to width.
+func Bar(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if a := abs(v); a > maxV {
+			maxV = a
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(abs(v) / maxV * float64(width))
+		}
+		mark := "#"
+		if v < 0 {
+			mark = "-"
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.3f\n", maxL, labels[i], strings.Repeat(mark, n), v)
+	}
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

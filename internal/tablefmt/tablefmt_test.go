@@ -1,0 +1,111 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("muchlongername", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "short") || !strings.Contains(lines[4], "muchlongername") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	// The value columns must be aligned.
+	iv1 := strings.Index(lines[3], "1")
+	iv2 := strings.Index(lines[4], "22")
+	if iv1 != iv2 {
+		t.Fatalf("columns not aligned: %d vs %d\n%s", iv1, iv2, out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x")
+	tb.AddRow("y", "z", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Fatalf("F = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.725); got != "72.5" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if got := PctDelta(0.0028); got != "+0.28%" {
+		t.Fatalf("PctDelta = %q", got)
+	}
+	if got := PctDelta(-0.0046); got != "-0.46%" {
+		t.Fatalf("PctDelta = %q", got)
+	}
+}
+
+func TestInt(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		42:         "42",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-9876543:   "-9,876,543",
+		2692088554: "2,692,088,554",
+	}
+	for in, want := range cases {
+		if got := Int(in); got != want {
+			t.Fatalf("Int(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("Fig", []string{"0%", "20%"}, []Series{
+		{Name: "ours", Y: []float64{0.9, 0.88}},
+		{Name: "random", Y: []float64{0.9, 0.80}},
+	}, 3)
+	for _, want := range []string{"Fig", "ours", "random", "0.880", "0.800", "20%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("Utilization", []string{"w/", "w/o"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	long := strings.Count(lines[1], "#")
+	short := strings.Count(lines[2], "#")
+	if long != 20 || short != 10 {
+		t.Fatalf("bar scaling wrong: %d vs %d\n%s", long, short, out)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar("", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero bar wrong: %q", out)
+	}
+}

@@ -1,0 +1,114 @@
+package tag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/textgen"
+)
+
+// Snapshot persistence: a Graph serializes to a single JSON document so
+// generated datasets can be saved once and reloaded by tools, tests and
+// long-running services without regenerating. The format is versioned;
+// Load rejects unknown versions and structurally invalid graphs.
+
+// snapshotFormat is bumped on breaking changes to the snapshot schema.
+const snapshotFormat = 1
+
+// snapshot is the on-disk representation of a Graph.
+type snapshot struct {
+	Format  int      `json:"format"`
+	Name    string   `json:"name"`
+	Display string   `json:"display"`
+	Classes []string `json:"classes"`
+	Nodes   []Node   `json:"nodes"`
+	// Edges lists each undirected edge once with u < v.
+	Edges [][2]NodeID `json:"edges"`
+	Vocab *vocabDoc   `json:"vocab,omitempty"`
+}
+
+// vocabDoc persists the generating vocabulary (its lookup index is
+// rebuilt on load).
+type vocabDoc struct {
+	Signal     [][]string `json:"signal"`
+	Background []string   `json:"background"`
+	Confuser   []int      `json:"confuser"`
+}
+
+// Save writes the graph as one JSON document.
+func Save(w io.Writer, g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("tag: cannot save nil graph")
+	}
+	s := snapshot{
+		Format:  snapshotFormat,
+		Name:    g.Name,
+		Display: g.Display,
+		Classes: g.Classes,
+		Nodes:   g.Nodes,
+	}
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			if NodeID(u) < v {
+				s.Edges = append(s.Edges, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	if g.Vocab != nil {
+		s.Vocab = &vocabDoc{
+			Signal:     g.Vocab.Signal,
+			Background: g.Vocab.Background,
+			Confuser:   g.Vocab.Confuser,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&s)
+}
+
+// Load reads a snapshot written by Save, rebuilds adjacency and the
+// vocabulary index, and validates the result.
+func Load(r io.Reader) (*Graph, error) {
+	var s snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("tag: decoding snapshot: %w", err)
+	}
+	if s.Format != snapshotFormat {
+		return nil, fmt.Errorf("tag: snapshot format %d not supported (want %d)", s.Format, snapshotFormat)
+	}
+	g := &Graph{
+		Name:    s.Name,
+		Display: s.Display,
+		Classes: s.Classes,
+		Nodes:   s.Nodes,
+		adj:     make([][]NodeID, len(s.Nodes)),
+	}
+	n := NodeID(len(s.Nodes))
+	for _, e := range s.Edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("tag: snapshot edge %v out of range [0,%d)", e, n)
+		}
+		g.addEdge(e[0], e[1])
+	}
+	g.sortAdj()
+	if s.Vocab != nil {
+		g.Vocab = snapshotVocab(s.Vocab)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("tag: snapshot invalid: %w", err)
+	}
+	return g, nil
+}
+
+// snapshotVocab materializes a persisted vocabulary and rebuilds its
+// word→class index.
+func snapshotVocab(d *vocabDoc) *textgen.Vocabulary {
+	v := &textgen.Vocabulary{
+		Signal:     d.Signal,
+		Background: d.Background,
+		Confuser:   d.Confuser,
+	}
+	v.RebuildIndex()
+	return v
+}

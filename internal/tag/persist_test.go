@@ -1,0 +1,113 @@
+package tag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return loaded
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	spec, err := SpecByName("citeseer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Generate(spec, 11, Options{Scale: 0.2})
+	loaded := roundTrip(t, g)
+
+	if loaded.Name != g.Name || loaded.Display != g.Display {
+		t.Errorf("identity changed: %q/%q -> %q/%q", g.Name, g.Display, loaded.Name, loaded.Display)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), loaded.NumNodes(), loaded.NumEdges())
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i] != loaded.Nodes[i] {
+			t.Fatalf("node %d changed: %+v -> %+v", i, g.Nodes[i], loaded.Nodes[i])
+		}
+		ns, ls := g.Neighbors(NodeID(i)), loaded.Neighbors(NodeID(i))
+		if len(ns) != len(ls) {
+			t.Fatalf("node %d degree changed: %d -> %d", i, len(ns), len(ls))
+		}
+		for j := range ns {
+			if ns[j] != ls[j] {
+				t.Fatalf("node %d adjacency changed", i)
+			}
+		}
+	}
+	if loaded.EdgeHomophily() != g.EdgeHomophily() {
+		t.Error("homophily changed across round trip")
+	}
+	// The vocabulary index must be rebuilt: signal-word lookups work.
+	w := g.Vocab.Signal[0][0]
+	if got := loaded.Vocab.ClassOf(w); got != 0 {
+		t.Errorf("loaded ClassOf(%q) = %d, want 0", w, got)
+	}
+	if loaded.Vocab.ClassOf("definitely-not-a-word") != -1 {
+		t.Error("unknown word resolved to a class")
+	}
+}
+
+func TestSnapshotRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "garbage"},
+		{"wrong format", `{"format":99,"nodes":[]}`},
+		{"edge out of range", `{"format":1,"classes":["A"],"nodes":[{"ID":0,"Title":"t","Label":0}],"edges":[[0,5]]}`},
+		{"self loop", `{"format":1,"classes":["A"],"nodes":[{"ID":0,"Title":"t","Label":0},{"ID":1,"Title":"u","Label":0}],"edges":[[0,0]]}`},
+		{"label out of range", `{"format":1,"classes":["A"],"nodes":[{"ID":0,"Title":"t","Label":3}],"edges":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+	if err := Save(&bytes.Buffer{}, nil); err == nil {
+		t.Error("Save(nil) accepted")
+	}
+}
+
+// TestSnapshotLoadedGraphIsUsable checks the loaded graph behaves
+// identically under the paper's pipeline entry points.
+func TestSnapshotLoadedGraphIsUsable(t *testing.T) {
+	spec, err := SpecByName("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Generate(spec, 13, Options{Scale: 0.1})
+	loaded := roundTrip(t, g)
+
+	a, _ := g.KHop(0, 2)
+	b, _ := loaded.KHop(0, 2)
+	if len(a) != len(b) {
+		t.Fatalf("KHop sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("KHop order differs after round trip")
+		}
+	}
+	if g.Text(3) != loaded.Text(3) {
+		t.Error("node text differs after round trip")
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Errorf("loaded graph invalid: %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func testVocab(t *testing.T, classes int) *Vocabulary {
+	t.Helper()
+	return NewVocabulary(xrand.New(1), VocabularyConfig{
+		Classes:        classes,
+		SignalPerClass: 40,
+		Background:     400,
+	})
+}
+
+func TestVocabularyShape(t *testing.T) {
+	v := testVocab(t, 7)
+	if v.Classes() != 7 {
+		t.Fatalf("Classes() = %d, want 7", v.Classes())
+	}
+	for k, ws := range v.Signal {
+		if len(ws) != 40 {
+			t.Fatalf("class %d has %d signal words, want 40", k, len(ws))
+		}
+	}
+	if len(v.Background) != 400 {
+		t.Fatalf("background size %d, want 400", len(v.Background))
+	}
+}
+
+func TestVocabularyWordsUnique(t *testing.T) {
+	v := testVocab(t, 7)
+	seen := map[string]bool{}
+	check := func(w string) {
+		if seen[w] {
+			t.Fatalf("duplicate word %q across vocabulary", w)
+		}
+		seen[w] = true
+	}
+	for _, ws := range v.Signal {
+		for _, w := range ws {
+			check(w)
+		}
+	}
+	for _, w := range v.Background {
+		check(w)
+	}
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a := testVocab(t, 5)
+	b := testVocab(t, 5)
+	for k := range a.Signal {
+		if strings.Join(a.Signal[k], "|") != strings.Join(b.Signal[k], "|") {
+			t.Fatalf("class %d signal words differ across identical seeds", k)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	v := testVocab(t, 4)
+	for k, ws := range v.Signal {
+		for _, w := range ws {
+			if got := v.ClassOf(w); got != k {
+				t.Fatalf("ClassOf(%q) = %d, want %d", w, got, k)
+			}
+		}
+	}
+	for _, w := range v.Background {
+		if got := v.ClassOf(w); got != -1 {
+			t.Fatalf("ClassOf(background %q) = %d, want -1", w, got)
+		}
+	}
+	if v.ClassOf("definitelynotaword") != -1 {
+		t.Fatal("unknown word should map to -1")
+	}
+}
+
+func TestConfuserIsDerangement(t *testing.T) {
+	for _, k := range []int{2, 3, 7, 40, 47} {
+		v := NewVocabulary(xrand.New(9), VocabularyConfig{Classes: k, SignalPerClass: 5, Background: 50})
+		for c, conf := range v.Confuser {
+			if conf == c {
+				t.Fatalf("class %d is its own confuser (K=%d)", c, k)
+			}
+			if conf < 0 || conf >= k {
+				t.Fatalf("confuser %d out of range (K=%d)", conf, k)
+			}
+		}
+	}
+}
+
+func TestGenerateLengths(t *testing.T) {
+	v := testVocab(t, 3)
+	cfg := TextConfig{TitleWords: 9, AbstractWords: 80, TitleSignal: 0.5, AbstractSig: 0.3}
+	title, abstract := v.Generate(xrand.New(2), 0, 0.1, cfg)
+	if got := len(strings.Fields(title)); got != 9 {
+		t.Fatalf("title has %d words, want 9", got)
+	}
+	if got := len(strings.Fields(abstract)); got != 80 {
+		t.Fatalf("abstract has %d words, want 80", got)
+	}
+}
+
+// Low-ambiguity text must carry dominant evidence for its own class;
+// high-ambiguity text must approach a 50/50 mixture with its confuser
+// class — genuinely undecidable, never flipped to look like the other
+// class.
+func TestAmbiguityControlsEvidence(t *testing.T) {
+	v := testVocab(t, 6)
+	cfg := TextConfig{TitleWords: 10, AbstractWords: 120, TitleSignal: 0.6, AbstractSig: 0.35}
+	rng := xrand.New(3)
+
+	ownWins := func(amb float64, class int) (own, confuser float64) {
+		var o, c float64
+		for trial := 0; trial < 30; trial++ {
+			title, abstract := v.Generate(rng, class, amb, cfg)
+			ev := v.Evidence(title + " " + abstract)
+			o += ev[class]
+			c += ev[v.Confuser[class]]
+		}
+		return o, c
+	}
+
+	own, conf := ownWins(0.05, 2)
+	if own <= 4*conf {
+		t.Fatalf("saturated text: own evidence %v not dominant over confuser %v", own, conf)
+	}
+	own, conf = ownWins(1.0, 2)
+	ratio := conf / own
+	if ratio < 0.75 || ratio > 1.33 {
+		t.Fatalf("maximally ambiguous text: confuser/own evidence ratio %v, want ≈1 (50/50 mixture)", ratio)
+	}
+	// Confusion is mutual: the confuser's confuser is the class itself,
+	// so the two classes' ambiguous texts share one distribution.
+	if v.Confuser[v.Confuser[2]] != 2 {
+		t.Fatalf("confuser pairing not mutual: Confuser[Confuser[2]] = %d", v.Confuser[v.Confuser[2]])
+	}
+}
+
+func TestEvidenceCountsWords(t *testing.T) {
+	v := testVocab(t, 3)
+	w0 := v.Signal[0][0]
+	w1 := v.Signal[1][0]
+	ev := v.Evidence(w0 + " " + w0 + " " + w1 + " unrelatedword")
+	if ev[0] != 2 {
+		t.Fatalf("class 0 evidence = %v, want 2", ev[0])
+	}
+	if ev[1] != 1 {
+		t.Fatalf("class 1 evidence = %v, want 1", ev[1])
+	}
+	if ev[2] != 0 {
+		t.Fatalf("class 2 evidence = %v, want 0", ev[2])
+	}
+}
+
+func TestGenerateClampsAmbiguity(t *testing.T) {
+	v := testVocab(t, 3)
+	cfg := TextConfig{TitleWords: 5, AbstractWords: 10, TitleSignal: 0.5, AbstractSig: 0.5}
+	// Out-of-range ambiguity should not panic.
+	v.Generate(xrand.New(4), 1, -3, cfg)
+	v.Generate(xrand.New(4), 1, 42, cfg)
+}
+
+func TestGeneratePanicsOnBadClass(t *testing.T) {
+	v := testVocab(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range class")
+		}
+	}()
+	v.Generate(xrand.New(5), 3, 0, TextConfig{TitleWords: 1, AbstractWords: 1})
+}
+
+// Property: generated words always come from the vocabulary.
+func TestQuickGeneratedWordsKnown(t *testing.T) {
+	v := testVocab(t, 5)
+	known := map[string]bool{}
+	for _, ws := range v.Signal {
+		for _, w := range ws {
+			known[w] = true
+		}
+	}
+	for _, w := range v.Background {
+		known[w] = true
+	}
+	f := func(seed uint64, class uint8, amb float64) bool {
+		k := int(class) % 5
+		a := amb - float64(int(amb)) // fold into a small range
+		title, abstract := v.Generate(xrand.New(seed), k, a, TextConfig{
+			TitleWords: 6, AbstractWords: 20, TitleSignal: 0.5, AbstractSig: 0.3,
+		})
+		for _, w := range strings.Fields(title + " " + abstract) {
+			if !known[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evidence vector length always equals class count and is
+// non-negative.
+func TestQuickEvidenceShape(t *testing.T) {
+	v := testVocab(t, 4)
+	f := func(s string) bool {
+		ev := v.Evidence(s)
+		if len(ev) != 4 {
+			return false
+		}
+		for _, e := range ev {
+			if e < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyClassesVocabulary(t *testing.T) {
+	// The Ogbn-Products configuration has 47 classes; construction must
+	// stay fast and collision-free.
+	v := NewVocabulary(xrand.New(21), VocabularyConfig{Classes: 47, SignalPerClass: 30, Background: 800})
+	if v.Classes() != 47 {
+		t.Fatalf("Classes() = %d", v.Classes())
+	}
+}

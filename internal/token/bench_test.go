@@ -1,0 +1,34 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchText = strings.Repeat(
+	"Target paper: Title: convergence of probabilistic inference networks \n"+
+		"Abstract: we study the asymptotic behaviour of belief propagation 12345 ", 20)
+
+// BenchmarkCount measures the tokenizer on a representative prompt
+// (the per-query hot path of every budget computation).
+func BenchmarkCount(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchText)))
+	for i := 0; i < b.N; i++ {
+		if Count(benchText) == 0 {
+			b.Fatal("zero tokens")
+		}
+	}
+}
+
+// BenchmarkTokenize measures full tokenization (used by tests and
+// diagnostics; Count avoids materializing the slice).
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchText)))
+	for i := 0; i < b.N; i++ {
+		if len(Tokenize(benchText)) == 0 {
+			b.Fatal("zero tokens")
+		}
+	}
+}

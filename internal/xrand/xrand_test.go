@@ -1,0 +1,312 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("child streams with different ids produced identical output")
+	}
+}
+
+func TestSplitStringStable(t *testing.T) {
+	a := New(9).SplitString("llm")
+	b := New(9).SplitString("llm")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitString not deterministic for identical names")
+	}
+	c := New(9).SplitString("llm")
+	d := New(9).SplitString("graph")
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("SplitString collided for different names")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 12345} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(13)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d has fraction %v, want ~0.1", k, frac)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestGumbelMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gumbel()
+	}
+	// Standard Gumbel mean is the Euler-Mascheroni constant.
+	const gamma = 0.5772156649
+	if math.Abs(sum/n-gamma) > 0.02 {
+		t.Fatalf("Gumbel mean %v, want ~%v", sum/n, gamma)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(29)
+	for trial := 0; trial < 100; trial++ {
+		s := r.Sample(50, 10)
+		if len(s) != 10 {
+			t.Fatalf("Sample(50,10) returned %d elements", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 50 || seen[v] {
+				t.Fatalf("invalid sample %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleAllWhenKTooLarge(t *testing.T) {
+	r := New(31)
+	s := r.Sample(5, 10)
+	if len(s) != 5 {
+		t.Fatalf("Sample(5,10) returned %d elements, want 5", len(s))
+	}
+}
+
+func TestSampleCoversAllElements(t *testing.T) {
+	r := New(37)
+	hit := make([]bool, 20)
+	for trial := 0; trial < 400; trial++ {
+		for _, v := range r.Sample(20, 3) {
+			hit[v] = true
+		}
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("element %d never sampled in 400 trials", i)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(41)
+	const p = 0.25
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	want := (1 - p) / p // mean number of failures
+	if math.Abs(sum/n-want) > 0.1 {
+		t.Fatalf("geometric mean %v, want ~%v", sum/n, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(43)
+	for _, lambda := range []float64{0.5, 3, 20, 100} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	r := New(47)
+	weights := []float64{1, 2, 0, 7}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[2])
+	}
+	total := 10.0
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		frac := float64(counts[i]) / n
+		if math.Abs(frac-w/total) > 0.01 {
+			t.Fatalf("category %d fraction %v, want ~%v", i, frac, w/total)
+		}
+	}
+}
+
+func TestCategoricalAllZeroUniform(t *testing.T) {
+	r := New(53)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Fatalf("all-zero weights not uniform, bucket %d = %d", i, c)
+		}
+	}
+}
+
+// Property: Intn output is always within bounds for any positive n and seed.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm always yields a valid permutation.
+func TestQuickPermValid(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n % 64)
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split with the same id from identically-seeded parents is stable.
+func TestQuickSplitStable(t *testing.T) {
+	f := func(seed, id uint64) bool {
+		a := New(seed).Split(id)
+		b := New(seed).Split(id)
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

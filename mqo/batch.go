@@ -1,0 +1,54 @@
+package mqo
+
+import (
+	"io"
+
+	"repro/internal/batch"
+	"repro/internal/llm"
+)
+
+// BatchRequest is one prompt to execute with an opaque caller ID.
+type BatchRequest = batch.Request
+
+// BatchConfig tunes concurrent batch execution: workers, QPS, retries,
+// token budget, caching, JSONL audit log.
+type BatchConfig = batch.Config
+
+// BatchOutcome is one request's result (response or error, cache flag,
+// attempt count).
+type BatchOutcome = batch.Outcome
+
+// BatchResult aggregates a batch: per-request outcomes, tokens spent,
+// cache hits, failures, budget skips.
+type BatchResult = batch.Result
+
+// BatchExecutor runs query batches against one predictor under
+// operational constraints.
+type BatchExecutor = batch.Executor
+
+// ErrBudgetExhausted marks queries refused because the batch token
+// budget was already spent.
+var ErrBudgetExhausted = batch.ErrBudgetExhausted
+
+// NewBatchExecutor builds a concurrent executor over p. Wrap
+// single-threaded predictors (like *Sim) with SerializePredictor.
+func NewBatchExecutor(p Predictor, cfg BatchConfig) (*BatchExecutor, error) {
+	return batch.New(p, cfg)
+}
+
+// SerializePredictor makes a single-threaded predictor safe for a
+// concurrent BatchExecutor.
+func SerializePredictor(p Predictor) Predictor { return batch.Serialize(p) }
+
+// ReplayBatchLog recovers the successful outcomes recorded in a JSONL
+// audit log, keyed by request ID — the checkpoint for resuming a
+// crashed or budget-stopped batch without re-billing finished queries.
+func ReplayBatchLog(r io.Reader) (map[string]Response, error) { return batch.ReplayLog(r) }
+
+// FilterDoneRequests splits a request list into still-to-run requests
+// and outcomes already recovered from a log replay.
+func FilterDoneRequests(reqs []BatchRequest, done map[string]Response) ([]BatchRequest, map[string]BatchOutcome) {
+	return batch.FilterDone(reqs, done)
+}
+
+var _ llm.Predictor = (*llm.Sim)(nil) // facade sanity: Sim satisfies Predictor

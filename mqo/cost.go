@@ -1,0 +1,40 @@
+package mqo
+
+import (
+	"repro/internal/cost"
+	"repro/internal/token"
+)
+
+// Pricing is a model's USD price per 1,000 tokens.
+type Pricing = cost.Pricing
+
+// CostReport compares an optimized execution against its baseline in
+// dollars.
+type CostReport = cost.Report
+
+// CostProjection scales a per-query token cost to a deployment-sized
+// workload (the paper's 10-million-query argument).
+type CostProjection = cost.Projection
+
+// TokenMeter accumulates query/token counts.
+type TokenMeter = token.Meter
+
+// LookupPricing returns the built-in pricing for "gpt-3.5-turbo",
+// "gpt-4" or "gpt-4o-mini" — the price points the paper argues from.
+func LookupPricing(model string) (Pricing, error) { return cost.Lookup(model) }
+
+// CompareCost prices two token meters (baseline vs optimized) and
+// reports the savings.
+func CompareCost(p Pricing, baseline, optimized TokenMeter) CostReport {
+	return cost.Compare(p, baseline, optimized)
+}
+
+// ProjectCost estimates the bill for `queries` queries averaging
+// tokensPerQuery input tokens.
+func ProjectCost(p Pricing, queries int64, tokensPerQuery float64) (CostProjection, error) {
+	return cost.Project(p, queries, tokensPerQuery)
+}
+
+// CountTokens estimates the token count of a text with the local
+// deterministic tokenizer (the unit every budget in this package uses).
+func CountTokens(text string) int { return token.Count(text) }

@@ -1,0 +1,111 @@
+package mqo_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/mqo"
+)
+
+// ExampleTauForBudget reproduces the running example of Section V-C:
+// the token budget determines what fraction of queries must give up
+// their neighbor text.
+func ExampleTauForBudget() {
+	const (
+		queries        = 1000
+		tokensPerQuery = 500.0 // T_v: mean tokens of a full query
+		tokensNeighbor = 200.0 // T_N: mean tokens of its neighbor text
+	)
+	fullCost := queries * tokensPerQuery
+	for _, budget := range []float64{fullCost, 0.9 * fullCost, 0.8 * fullCost} {
+		tau := mqo.TauForBudget(budget, queries, tokensPerQuery, tokensNeighbor)
+		fmt.Printf("budget %.0f -> prune %.0f%% of queries\n", budget, 100*tau)
+	}
+	// Output:
+	// budget 500000 -> prune 0% of queries
+	// budget 450000 -> prune 25% of queries
+	// budget 400000 -> prune 50% of queries
+}
+
+// ExampleProjectCost reproduces the paper's introduction arithmetic:
+// 10 million 1,200-token queries cost $6,000 on GPT-3.5 and $360,000
+// on GPT-4.
+func ExampleProjectCost() {
+	for _, model := range []string{"gpt-3.5-turbo", "gpt-4"} {
+		pricing, err := mqo.LookupPricing(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proj, err := mqo.ProjectCost(pricing, 10_000_000, 1200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: $%.0f\n", model, proj.TotalUSD)
+	}
+	// Output:
+	// gpt-3.5-turbo: $6000
+	// gpt-4: $360000
+}
+
+// ExampleOptimize shows the one-call pipeline: generate a benchmark
+// dataset, split it with the paper's protocol, and execute the query
+// batch with both strategies enabled.
+func ExampleOptimize() {
+	g, err := mqo.GenerateDatasetScaled("cora", 1, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := mqo.NewWorkload(g, 5, 50, 4, 1)
+	p := mqo.NewSim(mqo.GPT35(), g, 1)
+
+	rep, err := mqo.Optimize(w, mqo.KHopRandom{K: 1}, p, mqo.Options{
+		Prune: true, Tau: 0.2,
+		Boost: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classified %d nodes, pruned %d prompts, boosted: %v\n",
+		len(rep.Results.Pred), len(rep.Plan.Prune), rep.Results.Rounds > 1)
+	// Output:
+	// classified 50 nodes, pruned 10 prompts, boosted: true
+}
+
+// ExampleEstimateJoint decomposes the information two sources carry
+// about a label (the paper's Section IV analysis) on an XOR toy: all
+// information is synergistic — neither source helps alone.
+func ExampleEstimateJoint() {
+	var ts, ns, ys []int
+	for i := 0; i < 400; i++ {
+		t, n := i%2, (i/2)%2
+		ts, ns, ys = append(ts, t), append(ns, n), append(ys, t^n)
+	}
+	joint, err := mqo.EstimateJoint(ts, ns, ys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pid, err := joint.Decompose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("I(T,N;Y)=%.2f bits: redundant %.2f, unique %.2f+%.2f, synergy %.2f\n",
+		pid.MITotal, pid.Redundant, pid.UniqueT, pid.UniqueN, pid.Synergy)
+	fmt.Printf("information gain %.2f ≤ H(Y|T) %.2f\n", pid.InformationGain(), pid.HYGivenT)
+	// Output:
+	// I(T,N;Y)=1.00 bits: redundant 0.00, unique 0.00+0.00, synergy 1.00
+	// information gain 1.00 ≤ H(Y|T) 1.00
+}
+
+// ExampleBuildPrompt renders the paper's Table III template for a
+// zero-shot query.
+func ExampleBuildPrompt() {
+	g, err := mqo.GenerateDatasetScaled("citeseer", 1, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := mqo.NewWorkload(g, 2, 10, 4, 1)
+	prompt := mqo.BuildPrompt(w.Context(), w.Queries[0], nil, false)
+	fmt.Println(mqo.CountTokens(prompt) > 50)
+	// Output:
+	// true
+}

@@ -1,0 +1,217 @@
+package mqo
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestGNNFacade trains both GNN baselines and label propagation via
+// the public wrappers.
+func TestGNNFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("cora", 12, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload(g, 15, 100, 4, 12)
+	gcn, err := TrainGCN(g, w.Labeled, 128, GCNConfig{Epochs: 30, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sage, err := TrainSAGE(g, w.Labeled, 128, GCNConfig{Epochs: 30, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(len(g.Classes))
+	if acc := gcn.Accuracy(g, w.Queries); acc < 2*chance {
+		t.Errorf("GCN facade accuracy %.3f near chance", acc)
+	}
+	if acc := sage.Accuracy(g, w.Queries); acc < 2*chance {
+		t.Errorf("SAGE facade accuracy %.3f near chance", acc)
+	}
+	lp, err := LabelProp(g, w.Labeled, 20, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp) != g.NumNodes() {
+		t.Errorf("LabelProp returned %d labels for %d nodes", len(lp), g.NumNodes())
+	}
+}
+
+// TestLinkPredictionFacade runs the Table X variants via the public
+// wrappers.
+func TestLinkPredictionFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("cora", 14, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewLinkDataset(g, 60, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruner, err := FitPairInadequacy(d, 50, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LinkVariants(d, NewSimLink(g, 14), 4, 0.2, 3, pruner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vanilla", "base", "boost", "prune", "both"} {
+		r, ok := res[name]
+		if !ok {
+			t.Fatalf("variant %q missing", name)
+		}
+		if r.Accuracy < 0.5 {
+			t.Errorf("%s accuracy %.3f below coin flip", name, r.Accuracy)
+		}
+	}
+	if res["prune"].Pruned == 0 {
+		t.Error("prune variant pruned nothing")
+	}
+	one, err := RunLink(d, NewSimLink(g, 14), LinkRunConfig{WithLinks: true, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Meter.Total() == 0 {
+		t.Error("RunLink metered no tokens")
+	}
+}
+
+// TestBatchFacade drives the executor, log replay and resume filters
+// through the public wrappers.
+func TestBatchFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("citeseer", 15, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload(g, 5, 20, 4, 15)
+	ctx := w.Context()
+
+	var reqs []BatchRequest
+	for i, v := range w.Queries {
+		reqs = append(reqs, BatchRequest{
+			ID:     fmt.Sprint(i),
+			Prompt: BuildPrompt(ctx, v, nil, false),
+		})
+	}
+	var logBuf bytes.Buffer
+	exec, err := NewBatchExecutor(SerializePredictor(NewSim(GPT35(), g, 15)),
+		BatchConfig{Workers: 4, Log: &logBuf, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || len(res.Outcomes) != len(reqs) {
+		t.Fatalf("batch result %+v", res)
+	}
+	done, err := ReplayBatchLog(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	todo, recovered := FilterDoneRequests(reqs, done)
+	if len(todo) != 0 || len(recovered) != len(reqs) {
+		t.Errorf("resume split %d todo / %d recovered, want 0/%d", len(todo), len(recovered), len(reqs))
+	}
+	if ErrBudgetExhausted == nil {
+		t.Error("ErrBudgetExhausted unexported")
+	}
+}
+
+// TestPrefixFacade exercises the prefix-sharing wrappers.
+func TestPrefixFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("cora", 16, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload(g, 5, 15, 4, 16)
+	ctx := w.Context()
+	var prompts []string
+	for _, v := range w.Queries {
+		prompts = append(prompts, BuildPrompt(ctx, v, nil, false))
+	}
+	before := AnalyzePrefixSharing(prompts)
+	after := AnalyzePrefixSharing(ReorderSharedFirst(prompts))
+	if after.SharedTokens <= before.SharedTokens {
+		t.Errorf("reordering did not increase sharing: %d -> %d",
+			before.SharedTokens, after.SharedTokens)
+	}
+	if !strings.Contains(before.String(), "prompts") {
+		t.Errorf("Stats.String() = %q", before.String())
+	}
+}
+
+// TestCostFacade prices a run through the public wrappers.
+func TestCostFacade(t *testing.T) {
+	p, err := LookupPricing("gpt-4o-mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, opt TokenMeter
+	base.AddQuery(10_000, 100)
+	opt.AddQuery(8_000, 100)
+	rep := CompareCost(p, base, opt)
+	if rep.SavedUSD <= 0 || rep.SavedFraction <= 0 {
+		t.Errorf("report %+v", rep)
+	}
+	proj, err := ProjectCost(p, 1000, 500)
+	if err != nil || proj.TotalUSD <= 0 {
+		t.Errorf("projection %+v, err %v", proj, err)
+	}
+	if CountTokens("three plain words") != 3 {
+		t.Errorf("CountTokens = %d, want 3", CountTokens("three plain words"))
+	}
+}
+
+// TestDatasetPersistenceFacade round-trips a graph through the public
+// snapshot wrappers.
+func TestDatasetPersistenceFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("pubmed", 17, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip changed size: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), loaded.NumNodes(), loaded.NumEdges())
+	}
+}
+
+// TestInadequacyRankFacade checks scoring helpers exposed for plan
+// construction.
+func TestInadequacyRankFacade(t *testing.T) {
+	g, err := GenerateDatasetScaled("cora", 18, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorkload(g, 10, 50, 4, 18)
+	p := NewSim(GPT35(), g, 18)
+	iq, err := FitInadequacy(g, w.Labeled, p, "paper", DefaultInadequacyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PrunePlan(iq, g, w.Queries, 0.3)
+	if len(plan.Prune) != 15 {
+		t.Errorf("pruned %d, want 15", len(plan.Prune))
+	}
+	randPlan := RandomPrunePlan(w.Queries, 0.3, 18)
+	if len(randPlan.Prune) != 15 {
+		t.Errorf("random pruned %d, want 15", len(randPlan.Prune))
+	}
+	tau := TauForBudget(1000, 10, 200, 100)
+	if tau != 1 {
+		t.Errorf("infeasible budget τ = %v, want 1", tau)
+	}
+}

@@ -1,0 +1,27 @@
+package mqo
+
+import "repro/internal/infotheory"
+
+// The paper's Section IV analysis, usable on your own data: estimate
+// the joint distribution of (text signal T, neighbor signal N, label Y)
+// from samples and decompose I(T,N;Y) into redundant, unique and
+// synergistic information (Eq. 3). The identities IG = U(N\T) + S
+// (Eq. 5) and IG ≤ H(Y|T) (Eq. 6) hold exactly under the Williams–Beer
+// decomposition used here.
+
+// PID is a Partial Information Decomposition of I(T, N; Y).
+type PID = infotheory.PID
+
+// Joint3 is an estimated joint distribution P(T, N, Y) over discrete
+// category codes.
+type Joint3 = infotheory.Joint3
+
+// EstimateJoint builds P(T, N, Y) from parallel sample slices of
+// non-negative category codes (e.g. T = the model's zero-shot
+// prediction, N = majority neighbor label, Y = ground truth).
+func EstimateJoint(t, n, y []int) (*Joint3, error) {
+	return infotheory.FromSamples(t, n, y)
+}
+
+// Entropy returns H(p) in bits for a probability (or count) vector.
+func Entropy(p []float64) float64 { return infotheory.Entropy(p) }

@@ -1,0 +1,66 @@
+package mqo
+
+import (
+	"repro/internal/linkpred"
+	"repro/internal/nn"
+)
+
+// Link prediction (Section VI-J): the same two strategies applied to
+// the task of deciding whether a node pair is connected. Pruning scores
+// a pair's text inadequacy as 1 − max f(x_i ‖ x_j) from a binary
+// surrogate; boosting feeds predicted positive links back into later
+// prompts as "pseudo-links".
+
+// LinkDataset holds a graph with a held-out set of test pairs (half
+// true edges removed from the visible adjacency, half non-edges).
+type LinkDataset = linkpred.Dataset
+
+// LinkPair is one node pair to classify as linked / not linked.
+type LinkPair = linkpred.Pair
+
+// LinkPredictor is the black-box LLM contract for link queries.
+type LinkPredictor = linkpred.LinkPredictor
+
+// SimLink is the simulated link-prediction LLM.
+type SimLink = linkpred.SimLink
+
+// LinkRunConfig selects one Table X variant (links on/off, pruning τ,
+// boosting γ1).
+type LinkRunConfig = linkpred.RunConfig
+
+// LinkRunResult reports a variant's accuracy, token usage and counters.
+type LinkRunResult = linkpred.RunResult
+
+// PairInadequacy is the fitted pair-text inadequacy measure
+// D(t_i, t_j).
+type PairInadequacy = linkpred.PairInadequacy
+
+// NewLinkDataset removes nTest/2 edges from g to form positive test
+// pairs, samples as many non-edges as negatives, and returns the
+// dataset with the remaining visible adjacency.
+func NewLinkDataset(g *Graph, nTest int, seed uint64) (*LinkDataset, error) {
+	return linkpred.MakeDataset(g, nTest, seed)
+}
+
+// NewSimLink constructs the simulated link-prediction LLM for g.
+func NewSimLink(g *Graph, seed uint64) *SimLink {
+	return linkpred.NewSimLink(g, seed)
+}
+
+// FitPairInadequacy trains the binary surrogate used by link-level
+// pruning on nTrain visible edges plus sampled non-edges.
+func FitPairInadequacy(d *LinkDataset, nTrain int, seed uint64) (*PairInadequacy, error) {
+	return linkpred.FitPairInadequacy(d, nTrain, seed, nn.DefaultMLPConfig())
+}
+
+// RunLink executes the test pairs under one variant configuration.
+func RunLink(d *LinkDataset, p LinkPredictor, cfg LinkRunConfig) (LinkRunResult, error) {
+	return linkpred.Run(d, p, cfg)
+}
+
+// LinkVariants runs the paper's five Table X configurations — vanilla,
+// base, w/ boost, w/ prune, w/ both — and returns results keyed by
+// those names.
+func LinkVariants(d *LinkDataset, p LinkPredictor, m int, pruneTau float64, gamma1 int, pruner *PairInadequacy) (map[string]LinkRunResult, error) {
+	return linkpred.Variants(d, p, m, pruneTau, gamma1, pruner)
+}

@@ -1,0 +1,256 @@
+// Package mqo is the public API of this repository: multi-query
+// optimization for "LLMs as predictors" on text-attributed graphs,
+// reproducing Fang et al., "Boosting with Fewer Tokens: Multi-Query
+// Optimization for LLMs Using Node Text and Neighbor Cues" (ICDE 2025).
+//
+// The paper's setting: each node of a text-attributed graph (TAG) is
+// classified by prompting a black-box LLM with the node's own text plus
+// the text of a few selected neighbors. Neighbor text dominates the
+// token bill, so the paper contributes two plug-and-play strategies
+// that optimize a *batch* of such queries:
+//
+//   - Token pruning (Algorithm 1): rank queries by a learned
+//     text-inadequacy score D(t_i) and omit neighbor text for the
+//     lowest-scoring ("saturated") fraction, chosen to fit a token
+//     budget, without hurting accuracy.
+//   - Query boosting (Algorithm 2): schedule queries into rounds so
+//     that pseudo-labels predicted in earlier rounds enrich the
+//     prompts of later, harder queries.
+//
+// This package re-exports the building blocks (datasets, neighbor-
+// selection methods, simulated LLM profiles, plans) and offers a
+// one-call pipeline, Optimize, that composes them:
+//
+//	g := mqo.GenerateDataset("cora", 1)
+//	w := mqo.NewWorkload(g, 20, 1000, 4, 1)
+//	p := mqo.NewSim(mqo.GPT35(), g, 1)
+//	rep, err := mqo.Optimize(w, mqo.SNS{}, p, mqo.Options{
+//	    Prune: true, Tau: 0.2,
+//	    Boost: true,
+//	})
+//	fmt.Println(rep.Accuracy, rep.Results.Meter.Total())
+//
+// Everything is deterministic given the seeds; no network access is
+// required. To drive a real OpenAI-compatible endpoint instead of the
+// simulator, use NewHTTPPredictor.
+package mqo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/predictors"
+	"repro/internal/tag"
+	"repro/internal/xrand"
+)
+
+// Workload bundles one dataset with its labeled/query split and the
+// prompt-construction parameters shared by every method.
+type Workload struct {
+	Graph   *Graph
+	Labeled []NodeID
+	Queries []NodeID
+
+	// M caps the neighbors included per prompt (the paper uses 4, or 10
+	// for Ogbn-Products).
+	M int
+	// Seed drives per-node neighbor sampling deterministically.
+	Seed uint64
+	// IncludeAbstracts switches neighbor entries from title-only (the
+	// paper's default) to title+abstract.
+	IncludeAbstracts bool
+	// NodeType and EdgeRelation label the prompt text; empty values
+	// default to "paper" and "citation".
+	NodeType     string
+	EdgeRelation string
+}
+
+// NewWorkload splits g with the paper's per-class protocol
+// (labeledPerClass nodes labeled in every class, queryCount query
+// nodes) and returns a ready workload.
+func NewWorkload(g *Graph, labeledPerClass, queryCount, m int, seed uint64) *Workload {
+	split := g.SplitPerClass(xrand.New(seed).SplitString("split"), labeledPerClass, queryCount)
+	return &Workload{
+		Graph:   g,
+		Labeled: split.Labeled,
+		Queries: split.Query,
+		M:       m,
+		Seed:    seed,
+	}
+}
+
+// Context materializes the workload into the per-dataset context that
+// methods select neighbors against. The visible-label map starts as the
+// true labels of the labeled set; query boosting adds pseudo-labels to
+// it as rounds execute.
+func (w *Workload) Context() *Context {
+	known := make(map[NodeID]string, len(w.Labeled))
+	for _, v := range w.Labeled {
+		known[v] = w.Graph.Classes[w.Graph.Nodes[v].Label]
+	}
+	nodeType, edgeRelation := w.NodeType, w.EdgeRelation
+	if nodeType == "" {
+		nodeType = "paper"
+	}
+	if edgeRelation == "" {
+		edgeRelation = "citation"
+	}
+	return &Context{
+		Graph:            w.Graph,
+		Known:            known,
+		M:                w.M,
+		Seed:             w.Seed,
+		IncludeAbstracts: w.IncludeAbstracts,
+		NodeType:         nodeType,
+		EdgeRelation:     edgeRelation,
+	}
+}
+
+// Options selects which of the paper's two strategies to apply and how.
+type Options struct {
+	// Prune enables token pruning (Algorithm 1).
+	Prune bool
+	// Tau is the fraction of queries whose neighbor text is omitted
+	// (the paper's τ%). Ignored when Budget is set.
+	Tau float64
+	// Budget, when > 0, is a total input-token budget for the batch;
+	// τ is derived from it with the running-example formula of
+	// Section V-C (TauForBudget).
+	Budget float64
+	// RandomPrune replaces inadequacy ranking with uniform-random
+	// pruning — the paper's baseline in Fig. 7. Requires Prune.
+	RandomPrune bool
+	// Inadequacy overrides the text-inadequacy fitting configuration;
+	// nil uses the paper's defaults (linear surrogate, 3-fold CV,
+	// 10×K calibration subset).
+	Inadequacy *InadequacyConfig
+
+	// Boost enables query boosting (Algorithm 2).
+	Boost bool
+	// BoostConfig overrides γ1/γ2; nil uses the paper's γ1=3, γ2=2.
+	BoostConfig *BoostConfig
+}
+
+// Report is the outcome of one optimized multi-query execution.
+type Report struct {
+	// Results carries per-query predictions, token totals, and
+	// boosting counters.
+	Results *Results
+	// Plan is the executed plan (query order and pruned set).
+	Plan Plan
+	// Tau is the pruned fraction actually applied.
+	Tau float64
+	// Accuracy is the fraction of queries predicted correctly.
+	Accuracy float64
+	// Rounds traces boosting rounds; nil when Boost is off.
+	Rounds []RoundTrace
+	// CalibrationQueries counts extra LLM queries spent fitting the
+	// inadequacy measure (0 when pruning is off or random).
+	CalibrationQueries int
+}
+
+// Optimize runs the full pipeline on one workload: optionally fit the
+// text-inadequacy measure and prune τ% of the queries (Algorithm 1),
+// then execute the batch either directly or with query-boosting rounds
+// (Algorithm 2). It is the programmatic equivalent of the paper's
+// "w/ prune & boost" configuration when both flags are set.
+func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) {
+	if w == nil || w.Graph == nil {
+		return nil, errors.New("mqo: nil workload")
+	}
+	if len(w.Queries) == 0 {
+		return nil, errors.New("mqo: workload has no queries")
+	}
+	ctx := w.Context()
+
+	rep := &Report{}
+	plan := Plan{Queries: w.Queries}
+
+	if opt.Prune {
+		tau := opt.Tau
+		if opt.Budget > 0 {
+			perQuery, perNeighbor := core.EstimateQueryTokens(ctx, m, w.Queries, 0)
+			tau = core.TauForBudget(opt.Budget, len(w.Queries), perQuery, perNeighbor)
+		}
+		if tau < 0 || tau > 1 {
+			return nil, fmt.Errorf("mqo: pruned fraction τ=%.3f outside [0,1]", tau)
+		}
+		rep.Tau = tau
+		if opt.RandomPrune {
+			plan = core.RandomPrunePlan(w.Queries, tau, w.Seed)
+		} else {
+			cfg := core.DefaultInadequacyConfig()
+			if opt.Inadequacy != nil {
+				cfg = *opt.Inadequacy
+			}
+			iq, err := core.FitInadequacy(w.Graph, w.Labeled, p, ctx.NodeType, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("mqo: fitting inadequacy: %w", err)
+			}
+			rep.CalibrationQueries = iq.CalibrationQueries
+			plan = core.PrunePlan(iq, w.Graph, w.Queries, tau)
+		}
+	}
+	rep.Plan = plan
+
+	if opt.Boost {
+		cfg := core.DefaultBoostConfig()
+		if opt.BoostConfig != nil {
+			cfg = *opt.BoostConfig
+		}
+		res, trace, err := core.Boost(ctx, m, p, plan, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: boosting: %w", err)
+		}
+		rep.Results = res
+		rep.Rounds = trace
+	} else {
+		res, err := core.Execute(ctx, m, p, plan)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: executing plan: %w", err)
+		}
+		rep.Results = res
+	}
+	rep.Accuracy = core.Accuracy(w.Graph, rep.Results.Pred)
+	return rep, nil
+}
+
+// GenerateDataset builds one of the five benchmark datasets
+// ("cora", "citeseer", "pubmed", "ogbn-arxiv", "ogbn-products") at its
+// default generated size. It panics on an unknown name; use
+// tag.SpecByName via GenerateDatasetScaled for error handling.
+func GenerateDataset(name string, seed uint64) *Graph {
+	g, err := GenerateDatasetScaled(name, seed, 1)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GenerateDatasetScaled builds a benchmark dataset with its node count
+// multiplied by scale (edges keep their density). scale <= 0 means 1.
+func GenerateDatasetScaled(name string, seed uint64, scale float64) (*Graph, error) {
+	spec, err := tag.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return tag.Generate(spec, seed, tag.Options{Scale: scale}), nil
+}
+
+// DatasetNames lists the five benchmark dataset identifiers in the
+// paper's order.
+func DatasetNames() []string { return tag.SortedNames() }
+
+// NewSim constructs the simulated black-box LLM for one dataset. The
+// simulator sees only final prompt strings — the same contract as a
+// remote API — and meters every token it is sent.
+func NewSim(p Profile, g *Graph, seed uint64) *Sim {
+	return llm.NewSim(p, g.Vocab, g.Classes, seed)
+}
+
+// Standard returns the paper's benchmark methods the strategies are
+// applied to, in evaluation order: 1-hop random, 2-hop random, SNS.
+// (Vanilla zero-shot is the no-neighbor baseline, not a target.)
+func Standard() []Method { return predictors.Standard() }

@@ -1,0 +1,19 @@
+package mqo
+
+import "repro/internal/prefix"
+
+// Serving-level prefix-sharing analysis (the related-work MQO family
+// of Section II-C): measure how much of a prompt batch a perfect
+// prefix cache could reuse, and reorder the Table III template so its
+// shared blocks lead.
+
+// PrefixStats summarizes prefix sharing over one prompt batch.
+type PrefixStats = prefix.Stats
+
+// AnalyzePrefixSharing inserts the prompts into a token trie and
+// reports total, unique and shared token counts.
+func AnalyzePrefixSharing(prompts []string) PrefixStats { return prefix.Analyze(prompts) }
+
+// ReorderSharedFirst rewrites Table III prompts so the batch-invariant
+// task block leads, maximizing cacheable prefix (the [49] reordering).
+func ReorderSharedFirst(prompts []string) []string { return prefix.ReorderSharedFirst(prompts) }

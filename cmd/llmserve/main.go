@@ -9,29 +9,47 @@
 //	curl -s localhost:8080/v1/chat/completions -d '{
 //	  "model": "sim", "messages": [{"role":"user","content":"<prompt>"}]}'
 //
+// Operational endpoints:
+//
+//	GET /metrics       Prometheus text-format metrics
+//	GET /healthz       JSON liveness (uptime, served requests)
+//	GET /debug/traces  last N request spans from the trace ring
+//	GET /debug/pprof/  runtime profiling (only with -pprof)
+//
+// Every request is logged as one structured JSON line (method, path,
+// status, latency, tokens) on stderr.
+//
 // The served model is deterministic for a given (dataset, profile,
 // seed); prompts must follow the Table III templates (build them with
 // the mqo package or the prompt package).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/tag"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "cora", "dataset whose vocabulary/classes back the simulator")
-		profile = flag.String("profile", "gpt-3.5", "simulated profile: gpt-3.5 or gpt-4o-mini")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		scale   = flag.Float64("scale", 1, "dataset scale factor")
-		addr    = flag.String("addr", ":8080", "listen address")
-		apiKey  = flag.String("api-key", "", "require this Bearer token when non-empty")
+		dataset   = flag.String("dataset", "cora", "dataset whose vocabulary/classes back the simulator")
+		profile   = flag.String("profile", "gpt-3.5", "simulated profile: gpt-3.5 or gpt-4o-mini")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		scale     = flag.Float64("scale", 1, "dataset scale factor")
+		addr      = flag.String("addr", ":8080", "listen address")
+		apiKey    = flag.String("api-key", "", "require this Bearer token when non-empty")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceCap  = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "request spans retained by /debug/traces")
+		accessLog = flag.Bool("access-log", true, "log one JSON line per request to stderr")
 	)
 	flag.Parse()
 
@@ -51,9 +69,55 @@ func main() {
 		log.Fatalf("llmserve: unknown profile %q (want gpt-3.5 or gpt-4o-mini)", *profile)
 	}
 
-	h := llm.NewHandler(llm.NewSim(p, g.Vocab, g.Classes, *seed))
+	reg := obs.NewRegistry()
+	reg.SetTraceCapacity(*traceCap)
+	obs.SetDefault(reg)
+
+	sim := llm.NewSim(p, g.Vocab, g.Classes, *seed)
+	sim.SetObserver(reg)
+	h := llm.NewHandler(sim)
 	h.RequireKey = *apiKey
-	fmt.Printf("llmserve: %s profile over %s (%d nodes, %d classes) on %s%s\n",
+	h.Obs = reg
+
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle(llm.ChatCompletionsPath, h)
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", obs.TraceHandler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"model":          p.Name,
+			"dataset":        g.Display,
+			"uptime_seconds": time.Since(start).Seconds(),
+			"requests":       h.Requests(),
+		})
+	})
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	var handler http.Handler = mux
+	if *accessLog {
+		handler = obs.AccessLog(obs.NewLogger(os.Stderr), mux)
+	}
+
+	fmt.Printf("llmserve: %s profile over %s (%d nodes, %d classes) on %s%s (metrics on /metrics, health on /healthz)\n",
 		p.Name, g.Display, g.NumNodes(), len(g.Classes), *addr, llm.ChatCompletionsPath)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Timeouts guarantee a half-sent or stalled request cannot pin
+		// a connection (and the predictor mutex queue) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
 }

@@ -18,18 +18,30 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all')")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		seeds   = flag.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
-		fast    = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+		exp         = flag.String("exp", "", "experiment id (or 'all')")
+		seed        = flag.Uint64("seed", 1, "deterministic seed")
+		seeds       = flag.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
+		fast        = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut     = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
 	)
 	flag.Parse()
+
+	// Installed as the process default so the experiment internals
+	// (plan execution, boosting, the simulator) record token and query
+	// metrics without any per-experiment wiring.
+	var reg *obs.Registry
+	if *metricsDump || *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -88,6 +100,28 @@ func main() {
 				label = fmt.Sprintf("%s (seed %d)", e.ID, s)
 			}
 			fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", label, e.Title, time.Since(start).Seconds(), out)
+		}
+	}
+
+	if reg != nil {
+		if *metricsDump {
+			fmt.Println("== metrics")
+			if err := reg.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "mqobench: writing metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsJSON != "" {
+			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mqobench: encoding metrics: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mqobench: writing %s: %v\n", *metricsJSON, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metricsJSON)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/predictors"
 	"repro/internal/tablefmt"
 	"repro/internal/tag"
@@ -41,23 +43,54 @@ func methodByName(name string) (predictors.Method, error) {
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "cora", "dataset name: "+strings.Join(tag.SortedNames(), ", "))
-		mName    = flag.String("method", "2-hop", "prediction method: vanilla, 1-hop, 2-hop, sns")
-		model    = flag.String("model", "gpt-3.5", "LLM profile: gpt-3.5 or gpt-4o-mini")
-		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		queries  = flag.Int("queries", 0, "query count (0 = dataset default)")
-		prune    = flag.Float64("prune", -1, "prune fraction tau in [0,1] (overrides -budget)")
-		budget   = flag.Float64("budget", 0, "input-token budget B (0 = unlimited)")
-		boost    = flag.Bool("boost", false, "apply query boosting")
-		m        = flag.Int("m", 4, "max neighbors per prompt")
-		savePlan = flag.String("save-plan", "", "write the optimized plan to this JSON file")
+		dsName      = flag.String("dataset", "cora", "dataset name: "+strings.Join(tag.SortedNames(), ", "))
+		mName       = flag.String("method", "2-hop", "prediction method: vanilla, 1-hop, 2-hop, sns")
+		model       = flag.String("model", "gpt-3.5", "LLM profile: gpt-3.5 or gpt-4o-mini")
+		seed        = flag.Uint64("seed", 1, "deterministic seed")
+		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
+		queries     = flag.Int("queries", 0, "query count (0 = dataset default)")
+		prune       = flag.Float64("prune", -1, "prune fraction tau in [0,1] (overrides -budget)")
+		budget      = flag.Float64("budget", 0, "input-token budget B (0 = unlimited)")
+		boost       = flag.Bool("boost", false, "apply query boosting")
+		m           = flag.Int("m", 4, "max neighbors per prompt")
+		savePlan    = flag.String("save-plan", "", "write the optimized plan to this JSON file")
+		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mqorun: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The registry is installed as the process default, so every layer
+	// (core execution, sim, facade) records without explicit wiring.
+	var reg *obs.Registry
+	if *metricsDump || *metricsJSON != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+	}
+	dumpMetrics := func() {
+		if reg == nil {
+			return
+		}
+		if *metricsDump {
+			fmt.Println("\nmetrics:")
+			if err := reg.WritePrometheus(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if *metricsJSON != "" {
+			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+		}
 	}
 
 	spec, err := tag.SpecByName(*dsName)
@@ -184,4 +217,5 @@ func main() {
 	if optimized.PseudoLabelUses > 0 {
 		fmt.Printf("pseudo-label enrichments during boosting: %d\n", optimized.PseudoLabelUses)
 	}
+	dumpMetrics()
 }

@@ -19,9 +19,23 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
+)
+
+// Metric names emitted by the executor; the full catalog lives in
+// README.md ("Observability").
+const (
+	metricBatchRequests  = "mqo_batch_requests_total"
+	metricBatchRetries   = "mqo_batch_retries_total"
+	metricBatchThrottled = "mqo_batch_throttle_waits_total"
+	metricBatchAborts    = "mqo_batch_aborts_total"
+	metricBatchInflight  = "mqo_batch_inflight"
+	metricBatchTokens    = "mqo_batch_tokens_total"
+	metricBatchAttempt   = "mqo_batch_attempt_duration_seconds"
 )
 
 // Request is one query to execute: an opaque caller ID plus the final
@@ -54,6 +68,10 @@ type Config struct {
 	// Log, when non-nil, receives one JSON line per query outcome.
 	// Prompts are logged as SHA-256 digests, never as raw text.
 	Log io.Writer
+	// Obs receives executor metrics (request outcomes, retries,
+	// throttle waits, in-flight gauge, per-attempt latency); nil routes
+	// to the process-default recorder.
+	Obs obs.Recorder
 }
 
 // ErrBudgetExhausted marks queries skipped because the token budget was
@@ -93,6 +111,8 @@ type Executor struct {
 	mu     sync.Mutex
 	cache  map[string]llm.Response
 	logErr error
+
+	inflight atomic.Int64
 }
 
 // New builds an executor. The predictor may be used concurrently from
@@ -237,12 +257,16 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 		outMu.Unlock()
 	}
 
+	rec := obs.Active(e.cfg.Obs)
 	for i := 0; i < e.cfg.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for r := range work {
-				record(r.ID, e.one(ctx, r, bud, tick))
+				rec.Set(metricBatchInflight, float64(e.inflight.Add(1)))
+				o := e.one(ctx, r, bud, tick, rec)
+				rec.Set(metricBatchInflight, float64(e.inflight.Add(-1)))
+				record(r.ID, o)
 			}
 		}()
 	}
@@ -257,11 +281,14 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+	// Workers race their gauge updates; settle it now that none run.
+	rec.Set(metricBatchInflight, 0)
 
 	// Requests never dispatched because the context ended.
 	for _, r := range reqs {
 		if _, ok := res.Outcomes[r.ID]; !ok {
 			record(r.ID, Outcome{Err: ctx.Err()})
+			rec.Add(metricBatchRequests, 1, "outcome", "undispatched")
 		}
 	}
 	res.TokensUsed = bud.spent
@@ -275,10 +302,32 @@ feed:
 	return res, nil
 }
 
+// abortReason labels context-ended outcomes for the abort counter.
+func abortReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return "canceled"
+}
+
 // one executes a single request: cache check, budget guard, rate-paced
 // predictor calls with retry.
-func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan time.Time) Outcome {
+func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder) Outcome {
 	digest := promptDigest(r.Prompt)
+	live := obs.Enabled(rec)
+	var span *obs.Span
+	if live {
+		span = rec.StartSpan("batch.request", "id", r.ID)
+	}
+	done := func(o Outcome, outcome string) Outcome {
+		rec.Add(metricBatchRequests, 1, "outcome", outcome)
+		if live {
+			span.SetAttr("outcome", outcome)
+			span.SetAttr("attempts", fmt.Sprint(o.Attempts))
+			span.End()
+		}
+		return o
+	}
 
 	if e.cache != nil {
 		e.mu.Lock()
@@ -286,34 +335,46 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 		e.mu.Unlock()
 		if ok {
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: cached.Category, Cached: true})
-			return Outcome{Response: cached, Cached: true}
+			return done(Outcome{Response: cached, Cached: true}, "cached")
 		}
 	}
 	if !bud.tryReserve() {
 		e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: ErrBudgetExhausted.Error()})
-		return Outcome{Err: ErrBudgetExhausted}
+		return done(Outcome{Err: ErrBudgetExhausted}, "skipped")
 	}
 
 	var lastErr error
 	for attempt := 1; attempt <= e.cfg.MaxRetries+1; attempt++ {
 		if attempt > 1 {
+			rec.Add(metricBatchRetries, 1)
 			delay := e.cfg.RetryDelay << (attempt - 2)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
-				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}
+				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
+				return done(Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted")
 			}
 		}
 		if tick != nil {
 			select {
 			case <-tick:
+				rec.Add(metricBatchThrottled, 1)
 			case <-ctx.Done():
-				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}
+				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
+				return done(Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted")
 			}
 		}
+		var start time.Time
+		if live {
+			start = time.Now()
+		}
 		resp, err := e.p.Query(r.Prompt)
+		if live {
+			rec.Observe(metricBatchAttempt, time.Since(start).Seconds())
+		}
 		if err == nil {
 			bud.charge(resp.InputTokens + resp.OutputTokens)
+			rec.Add(metricBatchTokens, float64(resp.InputTokens+resp.OutputTokens))
 			if e.cache != nil {
 				e.mu.Lock()
 				e.cache[r.Prompt] = resp
@@ -324,20 +385,20 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 				InputTokens: resp.InputTokens, OutputTokens: resp.OutputTokens,
 				Category: resp.Category, Attempts: attempt,
 			})
-			return Outcome{Response: resp, Attempts: attempt}
+			return done(Outcome{Response: resp, Attempts: attempt}, "ok")
 		}
 		lastErr = err
 		var apiErr *llm.APIError
 		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 && apiErr.StatusCode != 429 {
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt, Error: err.Error()})
-			return Outcome{Err: err, Attempts: attempt}
+			return done(Outcome{Err: err, Attempts: attempt}, "error")
 		}
 	}
 	e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: e.cfg.MaxRetries + 1, Error: lastErr.Error()})
-	return Outcome{
+	return done(Outcome{
 		Err:      fmt.Errorf("batch: request %q failed after %d attempts: %w", r.ID, e.cfg.MaxRetries+1, lastErr),
 		Attempts: e.cfg.MaxRetries + 1,
-	}
+	}, "error")
 }
 
 // Serialize wraps a predictor with a mutex so single-threaded

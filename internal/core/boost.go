@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/predictors"
 	"repro/internal/tag"
 )
@@ -62,6 +65,9 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 	if maxRounds <= 0 {
 		maxRounds = len(plan.Queries) + len(ctx.Graph.Classes) + cfg.Gamma1 + 8
 	}
+
+	rec := obs.Active(ctx.Obs)
+	live := obs.Enabled(rec)
 
 	// isPseudo marks labels added during boosting, to count utilization.
 	isPseudo := map[tag.NodeID]bool{}
@@ -122,10 +128,23 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 				}
 			}
 			promptText := predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0)
+			var span *obs.Span
+			var qStart time.Time
+			if live {
+				span = rec.StartSpan("core.query", "mode", "boost",
+					"node", strconv.Itoa(int(c.v)), "round", strconv.Itoa(round))
+				qStart = time.Now()
+			}
 			resp, err := p.Query(promptText)
+			if live {
+				rec.Observe(metricQuerySeconds, time.Since(qStart).Seconds(), "mode", "boost")
+				span.End()
+			}
 			if err != nil {
+				rec.Add(metricQueryErrors, 1, "mode", "boost")
 				return nil, nil, fmt.Errorf("core: boosting query for node %d: %w", c.v, err)
 			}
+			recordQuery(rec, "boost", resp, plan.Prune[c.v], len(c.sel) > 0)
 			if len(c.sel) > 0 {
 				res.Equipped++
 			}
@@ -152,6 +171,10 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 
 		res.PseudoLabelUses += roundPseudo
 		res.Rounds = round
+		rec.Add(metricBoostRounds, 1)
+		rec.Add(metricPseudoUses, float64(roundPseudo))
+		rec.Set(metricBoostRound, float64(round))
+		rec.Set(metricBoostPending, float64(len(pending)))
 		trace = append(trace, RoundTrace{
 			Round: round, Gamma1: g1, Gamma2: g2,
 			Executed: len(outcomes), PseudoUses: roundPseudo,

@@ -13,12 +13,44 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/predictors"
 	"repro/internal/tag"
 	"repro/internal/token"
 )
+
+// Metric names emitted by plan execution; the full catalog lives in
+// README.md ("Observability").
+const (
+	metricQueries      = "mqo_queries_total"
+	metricQueryErrors  = "mqo_query_errors_total"
+	metricPruned       = "mqo_queries_pruned_total"
+	metricEquipped     = "mqo_queries_equipped_total"
+	metricInputTokens  = "mqo_input_tokens_total"
+	metricOutputTokens = "mqo_output_tokens_total"
+	metricQuerySeconds = "mqo_query_duration_seconds"
+	metricPseudoUses   = "mqo_pseudo_label_uses_total"
+	metricBoostRounds  = "mqo_boost_rounds_total"
+	metricBoostRound   = "mqo_boost_round"
+	metricBoostPending = "mqo_boost_pending_queries"
+)
+
+// recordQuery emits the per-query metrics shared by Execute and Boost.
+func recordQuery(rec obs.Recorder, mode string, resp llm.Response, pruned, equipped bool) {
+	rec.Add(metricQueries, 1, "mode", mode)
+	if pruned {
+		rec.Add(metricPruned, 1, "mode", mode)
+	}
+	if equipped {
+		rec.Add(metricEquipped, 1, "mode", mode)
+	}
+	rec.Add(metricInputTokens, float64(resp.InputTokens), "mode", mode)
+	rec.Add(metricOutputTokens, float64(resp.OutputTokens), "mode", mode)
+}
 
 // Plan is an executable multi-query plan: which queries run, and which
 // of them omit neighbor text.
@@ -87,16 +119,30 @@ func ExecuteQueryVanilla(ctx *predictors.Context, p llm.Predictor, v tag.NodeID)
 // the labels present in ctx.Known at the start (the paper's baseline
 // execution mode).
 func Execute(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan) (*Results, error) {
+	rec := obs.Active(ctx.Obs)
+	live := obs.Enabled(rec)
 	res := &Results{Pred: make(map[tag.NodeID]string, len(plan.Queries)), Rounds: 1}
 	for _, v := range plan.Queries {
 		pruned := plan.Prune[v]
+		var span *obs.Span
+		var start time.Time
+		if live {
+			span = rec.StartSpan("core.query", "mode", "plain", "node", strconv.Itoa(int(v)))
+			start = time.Now()
+		}
 		resp, sel, err := ExecuteQuery(ctx, m, p, v, pruned)
+		if live {
+			rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", "plain")
+			span.End()
+		}
 		if err != nil {
+			rec.Add(metricQueryErrors, 1, "mode", "plain")
 			return nil, err
 		}
 		if len(sel) > 0 {
 			res.Equipped++
 		}
+		recordQuery(rec, "plain", resp, pruned, len(sel) > 0)
 		res.Pred[v] = resp.Category
 		res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
 	}

@@ -28,7 +28,9 @@ package llm
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/textgen"
 	"repro/internal/token"
@@ -129,6 +131,7 @@ type Sim struct {
 	bias      map[string]float64
 	seed      uint64
 	meter     token.Meter
+	rec       obs.Recorder
 }
 
 // NewSim builds a simulated model whose world knowledge derives from
@@ -172,6 +175,11 @@ func (s *Sim) Name() string { return s.profile.Name }
 // Meter exposes cumulative token usage across all queries.
 func (s *Sim) Meter() *token.Meter { return &s.meter }
 
+// SetObserver routes this simulator's query metrics (count, errors,
+// predict latency) to r instead of the process-default recorder. Call
+// it before serving; it must not race with Query.
+func (s *Sim) SetObserver(r obs.Recorder) { s.rec = r }
+
 // evidence accumulates, per class name, the normalized fraction of
 // known signal words in text, and reports the raw signal-word count.
 // Normalizing by total signal hits keeps datasets with different text
@@ -200,8 +208,15 @@ func (s *Sim) evidence(text string) (map[string]float64, float64) {
 // Query implements Predictor. It fails only on prompts that do not
 // follow the Table III templates.
 func (s *Sim) Query(promptText string) (Response, error) {
+	rec := obs.Active(s.rec)
+	live := obs.Enabled(rec)
+	var start time.Time
+	if live {
+		start = time.Now()
+	}
 	parsed, err := prompt.Parse(promptText)
 	if err != nil {
+		rec.Add("mqo_sim_errors_total", 1)
 		return Response{}, fmt.Errorf("llm: unreadable prompt: %w", err)
 	}
 	scores := make(map[string]float64, len(parsed.Categories))
@@ -283,6 +298,10 @@ func (s *Sim) Query(promptText string) (Response, error) {
 		OutputTokens: token.Count(out),
 	}
 	s.meter.AddQuery(resp.InputTokens, resp.OutputTokens)
+	if live {
+		rec.Add("mqo_sim_queries_total", 1)
+		rec.Observe("mqo_sim_predict_duration_seconds", time.Since(start).Seconds())
+	}
 	return resp, nil
 }
 

@@ -2,78 +2,132 @@ package llm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// maxRequestBody caps a chat-completions request body (4 MiB is far
+// beyond any Table III prompt); larger bodies get a JSON 413 instead of
+// unbounded buffering.
+const maxRequestBody = 4 << 20
 
 // Handler serves a Predictor (usually a *Sim) behind the OpenAI-
 // compatible chat-completions endpoint, so the HTTP client — and any
 // other OpenAI-compatible tooling — can drive the simulated model over
 // a real network boundary. One Handler serializes queries; the wrapped
 // Sim need not be safe for concurrent use.
+//
+// Only the predictor invocation itself is serialized: request decoding,
+// metrics, and the Requests counter live outside the critical section,
+// so /metrics and /healthz reads never block behind a slow query.
 type Handler struct {
-	mu        sync.Mutex
+	// qmu serializes predictor calls and nothing else.
+	qmu       sync.Mutex
 	predictor Predictor
 	// RequireKey, when non-empty, rejects requests whose Bearer token
 	// does not match.
 	RequireKey string
-	// requests counts completed queries (for tests and /stats).
-	requests int
+	// Obs receives request metrics (count by status, errors, token
+	// totals, latency histogram); nil routes to the process-default
+	// recorder. Set before serving.
+	Obs obs.Recorder
+	// requests counts successfully served queries.
+	requests atomic.Int64
 }
 
 // NewHandler wraps a predictor.
 func NewHandler(p Predictor) *Handler { return &Handler{predictor: p} }
 
-// Requests returns the number of successfully served queries.
-func (h *Handler) Requests() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.requests
-}
+// Requests returns the number of successfully served queries. It is
+// lock-free and never blocks behind an in-flight query.
+func (h *Handler) Requests() int { return int(h.requests.Load()) }
 
 // ServeHTTP implements http.Handler for POST /v1/chat/completions.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := obs.Active(h.Obs)
+	span := rec.StartSpan("llm.request", "method", r.Method)
+	status, inTokens, outTokens := h.serve(w, r)
+
+	code := strconv.Itoa(status)
+	rec.Add("mqo_http_requests_total", 1, "code", code)
+	if status >= 400 {
+		rec.Add("mqo_http_errors_total", 1, "code", code)
+	}
+	if inTokens > 0 || outTokens > 0 {
+		rec.Add("mqo_http_input_tokens_total", float64(inTokens))
+		rec.Add("mqo_http_output_tokens_total", float64(outTokens))
+	}
+	rec.Observe("mqo_http_request_duration_seconds", time.Since(start).Seconds())
+	span.SetAttr("code", code)
+	if inTokens > 0 {
+		span.SetAttr("input_tokens", strconv.Itoa(inTokens))
+	}
+	span.End()
+}
+
+// serve handles one request and reports the response status plus the
+// token usage of a successful query (0, 0 otherwise).
+func (h *Handler) serve(w http.ResponseWriter, r *http.Request) (status, inTokens, outTokens int) {
 	if r.URL.Path != ChatCompletionsPath {
 		writeAPIError(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
-		return
+		return http.StatusNotFound, 0, 0
 	}
 	if r.Method != http.MethodPost {
 		writeAPIError(w, http.StatusMethodNotAllowed, "use POST")
-		return
+		return http.StatusMethodNotAllowed, 0, 0
 	}
 	if h.RequireKey != "" && r.Header.Get("Authorization") != "Bearer "+h.RequireKey {
 		writeAPIError(w, http.StatusUnauthorized, "invalid API key")
-		return
+		return http.StatusUnauthorized, 0, 0
+	}
+	// Read the whole (bounded) body up front so malformed or oversized
+	// payloads produce a JSON error immediately rather than a decoder
+	// blocked on a half-sent connection.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeAPIError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return http.StatusRequestEntityTooLarge, 0, 0
+		}
+		writeAPIError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return http.StatusBadRequest, 0, 0
 	}
 	var req chatRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeAPIError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
-		return
+		return http.StatusBadRequest, 0, 0
 	}
 	if len(req.Messages) == 0 {
 		writeAPIError(w, http.StatusBadRequest, "messages must be non-empty")
-		return
+		return http.StatusBadRequest, 0, 0
 	}
 	promptText := req.Messages[len(req.Messages)-1].Content
 	if promptText == "" {
 		writeAPIError(w, http.StatusBadRequest, "empty prompt")
-		return
+		return http.StatusBadRequest, 0, 0
 	}
 
-	h.mu.Lock()
+	h.qmu.Lock()
 	resp, err := h.predictor.Query(promptText)
-	if err == nil {
-		h.requests++
-	}
-	h.mu.Unlock()
+	h.qmu.Unlock()
 	if err != nil {
 		// An unreadable prompt is the caller's fault, not a server
 		// failure: report 400 so clients do not retry it.
 		writeAPIError(w, http.StatusBadRequest, err.Error())
-		return
+		return http.StatusBadRequest, 0, 0
 	}
+	h.requests.Add(1)
 
 	out := map[string]any{
 		"id":      fmt.Sprintf("chatcmpl-sim-%d", time.Now().UnixNano()),
@@ -91,10 +145,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Usage headers let a generic access-log middleware report token
+	// spend without parsing the body (see obs.AccessLog).
+	w.Header().Set(obs.HeaderInputTokens, strconv.Itoa(resp.InputTokens))
+	w.Header().Set(obs.HeaderOutputTokens, strconv.Itoa(resp.OutputTokens))
 	if err := json.NewEncoder(w).Encode(out); err != nil {
 		// Headers are already written; nothing more we can do.
-		return
+		return http.StatusOK, resp.InputTokens, resp.OutputTokens
 	}
+	return http.StatusOK, resp.InputTokens, resp.OutputTokens
 }
 
 // writeAPIError emits an OpenAI-style error body.

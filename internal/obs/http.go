@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Response headers an instrumented handler may set so the generic
+// access-log middleware can report token usage without knowing the
+// endpoint's wire format.
+const (
+	HeaderInputTokens  = "X-Usage-Input-Tokens"
+	HeaderOutputTokens = "X-Usage-Output-Tokens"
+)
+
+// Handler returns the /metrics endpoint: the registry in Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler returns a debug endpoint serving the trace ring as a
+// JSON array, oldest span first.
+func TraceHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := r.Traces()
+		if traces == nil {
+			traces = []Trace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	})
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes, for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += n
+	return n, err
+}
+
+// AccessLog wraps next so every request emits one structured JSON line
+// on l: method, path, status, latency, response bytes, and token usage
+// when the handler reported it via the HeaderInputTokens /
+// HeaderOutputTokens response headers. A nil logger disables logging
+// without unwrapping the handler.
+func AccessLog(l *Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, req)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		fields := map[string]any{
+			"method":     req.Method,
+			"path":       req.URL.Path,
+			"status":     rec.status,
+			"latency_ms": float64(time.Since(start).Microseconds()) / 1000,
+			"bytes":      rec.bytes,
+		}
+		if v := rec.Header().Get(HeaderInputTokens); v != "" {
+			fields["input_tokens"] = v
+		}
+		if v := rec.Header().Get(HeaderOutputTokens); v != "" {
+			fields["output_tokens"] = v
+		}
+		l.Log("http_request", fields)
+	})
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Add("hits_total", 3, "code", "200")
+	r.Observe("lat_seconds", 0.02)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	out := string(body[:n])
+	if !strings.Contains(out, `hits_total{code="200"} 3`) {
+		t.Fatalf("missing counter series:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("missing histogram +Inf bucket:\n%s", out)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("req", "path", "/x")
+	sp.End()
+
+	rw := httptest.NewRecorder()
+	TraceHandler(r).ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var traces []Trace
+	if err := json.Unmarshal(rw.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rw.Body.String())
+	}
+	if len(traces) != 1 || traces[0].Name != "req" || traces[0].Attrs["path"] != "/x" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf strings.Builder
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(HeaderInputTokens, "120")
+		w.Header().Set(HeaderOutputTokens, "4")
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("short and stout"))
+	})
+	h := AccessLog(NewLogger(&buf), inner)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/v1/chat/completions", nil))
+
+	var line map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	want := map[string]any{
+		"event":         "http_request",
+		"method":        "POST",
+		"path":          "/v1/chat/completions",
+		"status":        float64(http.StatusTeapot),
+		"bytes":         float64(len("short and stout")),
+		"input_tokens":  "120",
+		"output_tokens": "4",
+	}
+	for k, v := range want {
+		if line[k] != v {
+			t.Errorf("line[%q] = %v, want %v", k, line[k], v)
+		}
+	}
+	if _, ok := line["time"]; !ok {
+		t.Error("log line missing time")
+	}
+	if _, ok := line["latency_ms"]; !ok {
+		t.Error("log line missing latency_ms")
+	}
+}
+
+func TestAccessLogDefaultsTo200(t *testing.T) {
+	var buf strings.Builder
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, _ = w.Write([]byte("ok")) // implicit 200, no WriteHeader
+	})
+	AccessLog(NewLogger(&buf), inner).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	var line map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["status"] != float64(200) {
+		t.Fatalf("status = %v, want 200", line["status"])
+	}
+}
+
+func TestNilLoggerNoop(t *testing.T) {
+	// Both a nil *Logger and NewLogger(nil) must be safe.
+	var l *Logger
+	l.Log("x", nil)
+	NewLogger(nil).Log("y", map[string]any{"k": 1})
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {})
+	AccessLog(nil, inner).
+		ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

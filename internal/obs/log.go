@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger emits structured JSON lines ({"time":..., "event":..., ...})
+// to one writer, serialized so concurrent handlers never interleave
+// output. A nil *Logger is a valid no-op, mirroring the Nop recorder.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger wraps w; a nil writer yields a no-op logger.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log writes one line. fields must not contain the keys "time" or
+// "event" (they would be overwritten). Marshal failures drop the line:
+// logging must never take the serving path down.
+func (l *Logger) Log(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = event
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(data)
+	l.mu.Unlock()
+}

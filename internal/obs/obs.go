@@ -1,0 +1,89 @@
+// Package obs is the observability layer of the pipeline: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) exposable in Prometheus text format, lightweight span
+// tracing with a ring-buffer sink for the last N query traces, and a
+// structured JSON line logger. It is stdlib-only and dependency-free so
+// every package — core execution, batch, llm, the mqo facade and the
+// commands — can record into it without pulling anything in.
+//
+// Instrumented code talks to the Recorder interface, never to a
+// concrete registry. The default recorder is Nop, so an uninstrumented
+// process pays only a nil check and an interface call per event;
+// wiring a *Registry (explicitly or via SetDefault) turns the same
+// call sites into live metrics. This inversion is what lets the hot
+// paths stay instrumented permanently: observability is a deployment
+// decision, not a compile-time one.
+package obs
+
+import "sync/atomic"
+
+// Recorder receives metric events from instrumented code. Both
+// *Registry and the package-level Nop implement it; implementations
+// must be safe for concurrent use.
+type Recorder interface {
+	// Add increments the counter `name` by delta (counters only go up;
+	// negative deltas are dropped as misuse). labels are alternating
+	// key/value pairs identifying the series.
+	Add(name string, delta float64, labels ...string)
+	// Set sets the gauge `name` to value.
+	Set(name string, value float64, labels ...string)
+	// Observe records value into the histogram `name`.
+	Observe(name string, value float64, labels ...string)
+	// StartSpan opens a trace span; labels become span attributes. The
+	// returned span may be nil (the no-op recorder); all *Span methods
+	// are nil-safe so call sites need no guard.
+	StartSpan(name string, labels ...string) *Span
+}
+
+// nop is the do-nothing recorder.
+type nop struct{}
+
+func (nop) Add(string, float64, ...string)     {}
+func (nop) Set(string, float64, ...string)     {}
+func (nop) Observe(string, float64, ...string) {}
+func (nop) StartSpan(string, ...string) *Span  { return nil }
+
+// Nop is the recorder that discards everything. It is the process
+// default until SetDefault installs a registry.
+var Nop Recorder = nop{}
+
+// defaultRec holds the process-wide recorder behind an atomic box so
+// SetDefault is safe under concurrent instrumentation.
+var defaultRec atomic.Value
+
+type recBox struct{ r Recorder }
+
+func init() { defaultRec.Store(&recBox{Nop}) }
+
+// SetDefault installs r as the process-wide recorder used by
+// instrumented code that was not wired explicitly. nil restores Nop.
+func SetDefault(r Recorder) {
+	if r == nil {
+		r = Nop
+	}
+	defaultRec.Store(&recBox{r})
+}
+
+// Default returns the process-wide recorder (Nop unless SetDefault ran).
+func Default() Recorder { return defaultRec.Load().(*recBox).r }
+
+// Active resolves the recorder an instrumented call site should use:
+// r itself when wired explicitly, the process default otherwise.
+func Active(r Recorder) Recorder {
+	if r != nil {
+		return r
+	}
+	return Default()
+}
+
+// Enabled reports whether Active(r) actually records, so hot paths can
+// skip work that only feeds metrics (clock reads, label formatting).
+func Enabled(r Recorder) bool {
+	_, isNop := Active(r).(nop)
+	return !isNop
+}
+
+// StartSpan opens a span on the process-default recorder.
+func StartSpan(name string, labels ...string) *Span {
+	return Default().StartSpan(name, labels...)
+}

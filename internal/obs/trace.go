@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the number of completed spans a new
+// registry's ring retains.
+const DefaultTraceCapacity = 256
+
+// Trace is one completed span as stored in the ring.
+type Trace struct {
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight trace region. Spans are created by
+// Recorder.StartSpan and finished with End, which pushes a Trace into
+// the owning registry's ring. A nil *Span (what the no-op recorder
+// returns) is valid: every method is a nil-safe no-op, so call sites
+// never branch on whether tracing is live.
+//
+// A span belongs to the goroutine that started it; SetAttr and End
+// must not race with each other.
+type Span struct {
+	rec   *Registry
+	name  string
+	start time.Time
+	attrs []string
+	ended bool
+}
+
+// SetAttr attaches (or appends) a key/value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.attrs = append(s.attrs, key, value)
+}
+
+// End closes the span, records it in the trace ring and returns its
+// duration. Calling End twice records once.
+func (s *Span) End() time.Duration {
+	if s == nil || s.rec == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	var attrs map[string]string
+	if len(s.attrs) >= 2 {
+		attrs = make(map[string]string, len(s.attrs)/2)
+		for i := 0; i+1 < len(s.attrs); i += 2 {
+			attrs[s.attrs[i]] = s.attrs[i+1]
+		}
+	}
+	s.rec.traces.push(Trace{Name: s.name, Start: s.start, Duration: d, Attrs: attrs})
+	return d
+}
+
+// StartSpan implements Recorder: labels become initial attributes.
+func (r *Registry) StartSpan(name string, labels ...string) *Span {
+	sp := &Span{rec: r, name: name, start: time.Now()}
+	if len(labels) > 0 {
+		sp.attrs = append(sp.attrs, labels...)
+	}
+	return sp
+}
+
+// traceRing is a fixed-capacity overwrite-oldest buffer of traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+	full bool
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &traceRing{buf: make([]Trace, capacity)}
+}
+
+func (t *traceRing) push(tr Trace) {
+	t.mu.Lock()
+	t.buf[t.next] = tr
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// snapshot returns the retained traces, oldest first.
+func (t *traceRing) snapshot() []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Trace(nil), t.buf[:t.next]...)
+	}
+	out := make([]Trace, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Traces returns the completed spans currently retained by the ring,
+// oldest first.
+func (r *Registry) Traces() []Trace { return r.traces.snapshot() }
+
+// SetTraceCapacity resizes the ring to retain the last n spans,
+// discarding anything currently held.
+func (r *Registry) SetTraceCapacity(n int) {
+	r.traces.mu.Lock()
+	defer r.traces.mu.Unlock()
+	if n <= 0 {
+		n = 1
+	}
+	r.traces.buf = make([]Trace, n)
+	r.traces.next = 0
+	r.traces.full = false
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsTrace(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("op", "mode", "plain")
+	sp.SetAttr("node", "7")
+	d := sp.End()
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Name != "op" || tr.Attrs["mode"] != "plain" || tr.Attrs["node"] != "7" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Duration < 0 || tr.Start.IsZero() {
+		t.Fatalf("trace timing = %+v", tr)
+	}
+}
+
+func TestSpanDoubleEndRecordsOnce(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("op")
+	sp.End()
+	sp.End()
+	if got := len(r.Traces()); got != 1 {
+		t.Fatalf("traces = %d, want 1", got)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	if sp.End() != 0 {
+		t.Fatal("nil span End != 0")
+	}
+	// The nop recorder hands out nil spans.
+	sp2 := Nop.StartSpan("x", "a", "b")
+	if sp2 != nil {
+		t.Fatalf("Nop.StartSpan = %v, want nil", sp2)
+	}
+	sp2.SetAttr("k", "v")
+	sp2.End()
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceCapacity(3)
+	for i := 0; i < 5; i++ {
+		sp := r.StartSpan("op" + strconv.Itoa(i))
+		sp.End()
+	}
+	traces := r.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring retained %d, want 3", len(traces))
+	}
+	for i, want := range []string{"op2", "op3", "op4"} {
+		if traces[i].Name != want {
+			t.Fatalf("traces[%d] = %q, want %q (oldest first)", i, traces[i].Name, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceCapacity(10)
+	r.StartSpan("a").End()
+	r.StartSpan("b").End()
+	traces := r.Traces()
+	if len(traces) != 2 || traces[0].Name != "a" || traces[1].Name != "b" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+func TestSetTraceCapacityDiscards(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("old").End()
+	r.SetTraceCapacity(4)
+	if got := len(r.Traces()); got != 0 {
+		t.Fatalf("resize kept %d traces, want 0", got)
+	}
+	r.SetTraceCapacity(0) // clamps to 1
+	r.StartSpan("x").End()
+	r.StartSpan("y").End()
+	traces := r.Traces()
+	if len(traces) != 1 || traces[0].Name != "y" {
+		t.Fatalf("traces = %+v, want just y", traces)
+	}
+}
+
+func TestPackageStartSpanUsesDefault(t *testing.T) {
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	sp := StartSpan("pkg_op")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Fatalf("duration %v too short", d)
+	}
+	traces := r.Traces()
+	if len(traces) != 1 || traces[0].Name != "pkg_op" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/encode"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -71,6 +72,11 @@ type Context struct {
 	// default).
 	NodeType     string
 	EdgeRelation string
+
+	// Obs receives metrics and spans from plan execution over this
+	// context; nil routes to the process-default recorder (a no-op
+	// unless obs.SetDefault installed a registry).
+	Obs obs.Recorder
 
 	sim *Similarity // lazily built by SNS
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/predictors"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -131,6 +132,11 @@ type Options struct {
 	Boost bool
 	// BoostConfig overrides γ1/γ2; nil uses the paper's γ1=3, γ2=2.
 	BoostConfig *BoostConfig
+
+	// Obs receives pipeline metrics and spans for this run; nil routes
+	// to the process-default recorder (no-op unless SetDefaultRecorder
+	// installed a registry).
+	Obs Recorder
 }
 
 // Report is the outcome of one optimized multi-query execution.
@@ -164,6 +170,13 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 		return nil, errors.New("mqo: workload has no queries")
 	}
 	ctx := w.Context()
+	if opt.Obs != nil {
+		ctx.Obs = opt.Obs
+	}
+	rec := obs.Active(ctx.Obs)
+	span := rec.StartSpan("mqo.optimize", "method", m.Name())
+	defer span.End()
+	rec.Add("mqo_optimize_runs_total", 1, "method", m.Name())
 
 	rep := &Report{}
 	plan := Plan{Queries: w.Queries}
@@ -185,11 +198,14 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 			if opt.Inadequacy != nil {
 				cfg = *opt.Inadequacy
 			}
+			fitSpan := rec.StartSpan("mqo.fit_inadequacy")
 			iq, err := core.FitInadequacy(w.Graph, w.Labeled, p, ctx.NodeType, cfg)
+			fitSpan.End()
 			if err != nil {
 				return nil, fmt.Errorf("mqo: fitting inadequacy: %w", err)
 			}
 			rep.CalibrationQueries = iq.CalibrationQueries
+			rec.Add("mqo_calibration_queries_total", float64(iq.CalibrationQueries))
 			plan = core.PrunePlan(iq, w.Graph, w.Queries, tau)
 		}
 	}

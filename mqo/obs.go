@@ -1,0 +1,59 @@
+package mqo
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Recorder receives metrics and trace spans from every layer of the
+// pipeline (plan execution, batch, LLM clients and servers). The
+// default is a no-op, so instrumentation costs nothing until a
+// Registry is wired in via Options.Obs, Context.Obs, component fields
+// or SetDefaultRecorder. See README.md "Observability" for the metric
+// name catalog.
+type Recorder = obs.Recorder
+
+// Registry is the concrete recorder: a concurrency-safe metrics
+// registry (counters, gauges, fixed-bucket histograms) plus a
+// ring-buffer trace sink holding the last N completed spans. Expose it
+// over HTTP with MetricsHandler or dump it with WritePrometheus /
+// Snapshot.
+type Registry = obs.Registry
+
+// MetricSnapshot is one metric series at a point in time, as returned
+// by Registry.Snapshot (JSON-friendly).
+type MetricSnapshot = obs.MetricSnapshot
+
+// TraceSpan is an in-flight trace region started via
+// Recorder.StartSpan; End records it into the registry's trace ring.
+type TraceSpan = obs.Span
+
+// QueryTrace is one completed span retained by the trace ring.
+type QueryTrace = obs.Trace
+
+// NopRecorder discards every metric and span.
+var NopRecorder = obs.Nop
+
+// NewRegistry builds an empty metrics registry with the default trace
+// ring capacity.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// SetDefaultRecorder installs r as the process-wide recorder used by
+// instrumented code that was not wired explicitly (nil restores the
+// no-op). This is how the commands light up the whole pipeline with
+// one call.
+func SetDefaultRecorder(r Recorder) { obs.SetDefault(r) }
+
+// MetricsHandler serves reg in Prometheus text exposition format —
+// mount it at /metrics.
+func MetricsHandler(reg *Registry) http.Handler { return reg.Handler() }
+
+// TraceRingHandler serves the registry's retained query traces as
+// JSON — mount it at /debug/traces.
+func TraceRingHandler(reg *Registry) http.Handler { return obs.TraceHandler(reg) }
+
+// NewStructuredLogger returns a JSON-lines logger for request/access
+// logging; nil writer yields a no-op logger.
+func NewStructuredLogger(w io.Writer) *obs.Logger { return obs.NewLogger(w) }

@@ -27,6 +27,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "deterministic seed")
 		seeds       = flag.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
 		fast        = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
+		workers     = flag.Int("workers", 1, "concurrent LLM queries during plan execution (outputs are identical for any value)")
+		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut     = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
@@ -74,7 +76,7 @@ func main() {
 	for _, e := range toRun {
 		for rep := 0; rep < *seeds; rep++ {
 			s := *seed + uint64(rep)
-			cfg := experiments.Config{Seed: s, Fast: *fast}
+			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps}
 			start := time.Now()
 			out, err := e.Run(cfg)
 			if err != nil {

@@ -53,6 +53,8 @@ func main() {
 		budget      = flag.Float64("budget", 0, "input-token budget B (0 = unlimited)")
 		boost       = flag.Bool("boost", false, "apply query boosting")
 		m           = flag.Int("m", 4, "max neighbors per prompt")
+		workers     = flag.Int("workers", 1, "concurrent LLM queries (results are identical for any value)")
+		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
 		savePlan    = flag.String("save-plan", "", "write the optimized plan to this JSON file")
 		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
@@ -134,10 +136,11 @@ func main() {
 		}
 	}
 	sim := llm.NewSim(profile, g.Vocab, g.Classes, *seed+7)
+	ecfg := core.ExecConfig{Workers: *workers, QPS: *qps}
 
 	// Baseline.
-	fmt.Printf("running baseline %s over %d queries...\n", method.Name(), len(split.Query))
-	base, err := core.Execute(newCtx(), method, sim, core.Plan{Queries: split.Query})
+	fmt.Printf("running baseline %s over %d queries (%d workers)...\n", method.Name(), len(split.Query), *workers)
+	base, err := core.ExecuteWith(newCtx(), method, sim, core.Plan{Queries: split.Query}, ecfg)
 	if err != nil {
 		fail(err)
 	}
@@ -149,6 +152,7 @@ func main() {
 		fmt.Println("fitting text-inadequacy measure...")
 		iqCfg := core.DefaultInadequacyConfig()
 		iqCfg.Seed = *seed
+		iqCfg.Exec = ecfg
 		iq, err := core.FitInadequacy(g, split.Labeled, sim, "paper", iqCfg)
 		if err != nil {
 			fail(err)
@@ -179,10 +183,10 @@ func main() {
 	var optimized *core.Results
 	if *boost {
 		fmt.Println("executing with query boosting...")
-		optimized, _, err = core.Boost(newCtx(), method, sim, plan, core.DefaultBoostConfig())
+		optimized, _, err = core.BoostWith(newCtx(), method, sim, plan, core.DefaultBoostConfig(), ecfg)
 	} else {
 		fmt.Println("executing plan...")
-		optimized, err = core.Execute(newCtx(), method, sim, plan)
+		optimized, err = core.ExecuteWith(newCtx(), method, sim, plan, ecfg)
 	}
 	if err != nil {
 		fail(err)

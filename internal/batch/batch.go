@@ -53,11 +53,16 @@ type Config struct {
 	// QPS caps the dispatch rate across all workers; 0 means unlimited.
 	QPS float64
 	// MaxRetries bounds per-query retries on transient failures
-	// (default 2). Non-retryable API errors (4xx) fail immediately.
+	// (default 2; -1 disables retries entirely). Non-retryable API
+	// errors (4xx) fail immediately.
 	MaxRetries int
 	// RetryDelay is the initial backoff, doubled per retry
 	// (default 100ms).
 	RetryDelay time.Duration
+	// MaxRetryDelay caps the exponential backoff (default 30s), so long
+	// retry schedules neither overflow time.Duration nor grow into
+	// hour-long sleeps.
+	MaxRetryDelay time.Duration
 	// BudgetTokens, when > 0, is a hard cap on total tokens
 	// (input + output) across the batch. Queries that would start after
 	// the cap is reached fail with ErrBudgetExhausted instead of
@@ -110,9 +115,18 @@ type Executor struct {
 
 	mu     sync.Mutex
 	cache  map[string]llm.Response
+	flight map[string]*flightCall
 	logErr error
 
 	inflight atomic.Int64
+}
+
+// flightCall is an in-progress predictor call that concurrent requests
+// for the same prompt wait on instead of re-querying (single-flight).
+type flightCall struct {
+	done chan struct{} // closed once resp/err are set
+	resp llm.Response
+	err  error
 }
 
 // New builds an executor. The predictor may be used concurrently from
@@ -122,21 +136,28 @@ func New(p llm.Predictor, cfg Config) (*Executor, error) {
 	if p == nil {
 		return nil, errors.New("batch: nil predictor")
 	}
-	if cfg.Workers < 0 || cfg.QPS < 0 || cfg.MaxRetries < 0 || cfg.BudgetTokens < 0 {
+	if cfg.Workers < 0 || cfg.QPS < 0 || cfg.MaxRetries < -1 || cfg.BudgetTokens < 0 {
 		return nil, fmt.Errorf("batch: negative config value: %+v", cfg)
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
-	if cfg.MaxRetries == 0 {
+	switch cfg.MaxRetries {
+	case 0:
 		cfg.MaxRetries = 2
+	case -1:
+		cfg.MaxRetries = 0
 	}
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 100 * time.Millisecond
 	}
+	if cfg.MaxRetryDelay <= 0 {
+		cfg.MaxRetryDelay = llm.DefaultMaxRetryDelay
+	}
 	e := &Executor{p: p, cfg: cfg}
 	if cfg.Cache {
 		e.cache = make(map[string]llm.Response)
+		e.flight = make(map[string]*flightCall)
 	}
 	return e, nil
 }
@@ -233,9 +254,15 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 	bud := &budget{remaining: e.cfg.BudgetTokens, unlimited: e.cfg.BudgetTokens == 0}
 
 	// Rate limiter: a shared ticker paces dispatches across workers.
+	// The interval is clamped to ≥1ns: above ~1e9 QPS the division
+	// rounds to zero, which time.NewTicker panics on.
 	var tick <-chan time.Time
 	if e.cfg.QPS > 0 {
-		t := time.NewTicker(time.Duration(float64(time.Second) / e.cfg.QPS))
+		interval := time.Duration(float64(time.Second) / e.cfg.QPS)
+		if interval < time.Nanosecond {
+			interval = time.Nanosecond
+		}
+		t := time.NewTicker(interval)
 		defer t.Stop()
 		tick = t.C
 	}
@@ -310,8 +337,8 @@ func abortReason(err error) string {
 	return "canceled"
 }
 
-// one executes a single request: cache check, budget guard, rate-paced
-// predictor calls with retry.
+// one executes a single request: cache check, single-flight
+// deduplication, budget guard, rate-paced predictor calls with retry.
 func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder) Outcome {
 	digest := promptDigest(r.Prompt)
 	live := obs.Enabled(rec)
@@ -331,28 +358,65 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 
 	if e.cache != nil {
 		e.mu.Lock()
-		cached, ok := e.cache[r.Prompt]
-		e.mu.Unlock()
-		if ok {
+		if cached, ok := e.cache[r.Prompt]; ok {
+			e.mu.Unlock()
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: cached.Category, Cached: true})
 			return done(Outcome{Response: cached, Cached: true}, "cached")
 		}
+		// Single-flight: if another worker is already querying this
+		// exact prompt, wait for its answer instead of paying for a
+		// duplicate call (the classic cache-stampede fix).
+		if fc, ok := e.flight[r.Prompt]; ok {
+			e.mu.Unlock()
+			select {
+			case <-fc.done:
+			case <-ctx.Done():
+				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
+				return done(Outcome{Err: ctx.Err()}, "aborted")
+			}
+			if fc.err != nil {
+				e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: fc.err.Error()})
+				if errors.Is(fc.err, ErrBudgetExhausted) {
+					return done(Outcome{Err: fc.err}, "skipped")
+				}
+				return done(Outcome{Err: fc.err}, "error")
+			}
+			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: fc.resp.Category, Cached: true})
+			return done(Outcome{Response: fc.resp, Cached: true}, "coalesced")
+		}
+		fc := &flightCall{done: make(chan struct{})}
+		e.flight[r.Prompt] = fc
+		e.mu.Unlock()
+		o, label := e.attempt(ctx, r, bud, tick, rec, digest, live)
+		fc.resp, fc.err = o.Response, o.Err
+		e.mu.Lock()
+		delete(e.flight, r.Prompt)
+		e.mu.Unlock()
+		close(fc.done)
+		return done(o, label)
 	}
+	o, label := e.attempt(ctx, r, bud, tick, rec, digest, live)
+	return done(o, label)
+}
+
+// attempt runs the budget guard and the rate-paced retry loop for one
+// request, returning the outcome and its metric label.
+func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder, digest string, live bool) (Outcome, string) {
 	if !bud.tryReserve() {
 		e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: ErrBudgetExhausted.Error()})
-		return done(Outcome{Err: ErrBudgetExhausted}, "skipped")
+		return Outcome{Err: ErrBudgetExhausted}, "skipped"
 	}
 
 	var lastErr error
 	for attempt := 1; attempt <= e.cfg.MaxRetries+1; attempt++ {
 		if attempt > 1 {
 			rec.Add(metricBatchRetries, 1)
-			delay := e.cfg.RetryDelay << (attempt - 2)
+			delay := llm.RetryBackoff(e.cfg.RetryDelay, e.cfg.MaxRetryDelay, attempt-1)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
 				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
-				return done(Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted")
+				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted"
 			}
 		}
 		if tick != nil {
@@ -361,7 +425,7 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 				rec.Add(metricBatchThrottled, 1)
 			case <-ctx.Done():
 				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
-				return done(Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted")
+				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted"
 			}
 		}
 		var start time.Time
@@ -385,20 +449,20 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 				InputTokens: resp.InputTokens, OutputTokens: resp.OutputTokens,
 				Category: resp.Category, Attempts: attempt,
 			})
-			return done(Outcome{Response: resp, Attempts: attempt}, "ok")
+			return Outcome{Response: resp, Attempts: attempt}, "ok"
 		}
 		lastErr = err
 		var apiErr *llm.APIError
 		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 && apiErr.StatusCode != 429 {
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt, Error: err.Error()})
-			return done(Outcome{Err: err, Attempts: attempt}, "error")
+			return Outcome{Err: err, Attempts: attempt}, "error"
 		}
 	}
 	e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: e.cfg.MaxRetries + 1, Error: lastErr.Error()})
-	return done(Outcome{
+	return Outcome{
 		Err:      fmt.Errorf("batch: request %q failed after %d attempts: %w", r.ID, e.cfg.MaxRetries+1, lastErr),
 		Attempts: e.cfg.MaxRetries + 1,
-	}, "error")
+	}, "error"
 }
 
 // Serialize wraps a predictor with a mutex so single-threaded

@@ -340,3 +340,112 @@ func TestSerializeAllowsConcurrentSim(t *testing.T) {
 		t.Errorf("executor counted %d tokens, sim metered %d", res.TokensUsed, want.Total())
 	}
 }
+
+func TestExecuteExtremeQPSDoesNotPanic(t *testing.T) {
+	// Regression: QPS above 1e9 used to compute a 0ns ticker interval,
+	// which panics inside time.NewTicker. The interval is now clamped.
+	p := newScripted()
+	e, err := New(p, Config{Workers: 4, QPS: 5e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(context.Background(), reqs(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 20 || res.Failed != 0 {
+		t.Fatalf("outcomes=%d failed=%d, want 20/0", len(res.Outcomes), res.Failed)
+	}
+}
+
+// slowScripted delays each underlying call so that concurrent duplicate
+// prompts genuinely overlap in flight.
+type slowScripted struct {
+	scripted
+	delay time.Duration
+}
+
+func (s *slowScripted) Query(prompt string) (llm.Response, error) {
+	time.Sleep(s.delay)
+	return s.scripted.Query(prompt)
+}
+
+func TestExecuteSingleFlightDeduplicatesConcurrentPrompts(t *testing.T) {
+	p := &slowScripted{scripted: scripted{calls: map[string]int{}}, delay: 50 * time.Millisecond}
+	e, err := New(p, Config{Workers: 8, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]Request, 8)
+	for i := range rs {
+		rs[i] = Request{ID: fmt.Sprintf("q%d", i), Prompt: "same prompt"}
+	}
+	res, err := e.Execute(context.Background(), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.total.Load(); got != 1 {
+		t.Fatalf("predictor called %d times for 8 identical in-flight prompts, want 1", got)
+	}
+	cached := 0
+	for _, o := range res.Outcomes {
+		if o.Err != nil {
+			t.Fatalf("unexpected outcome error: %v", o.Err)
+		}
+		if o.Cached {
+			cached++
+		}
+	}
+	if cached != 7 {
+		t.Fatalf("cached outcomes = %d, want 7 (one leader call, seven coalesced)", cached)
+	}
+	// Only the leader's call is billed.
+	if res.TokensUsed != 12 {
+		t.Fatalf("TokensUsed = %d, want 12", res.TokensUsed)
+	}
+}
+
+func TestExecuteSingleFlightLeaderErrorPropagates(t *testing.T) {
+	p := &slowScripted{
+		scripted: scripted{calls: map[string]int{}, failFirst: 1000, failErr: errors.New("bad request")},
+		delay:    30 * time.Millisecond,
+	}
+	e, err := New(p, Config{Workers: 4, Cache: true, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]Request, 4)
+	for i := range rs {
+		rs[i] = Request{ID: fmt.Sprintf("q%d", i), Prompt: "same prompt"}
+	}
+	res, err := e.Execute(context.Background(), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 4 {
+		t.Fatalf("Failed = %d, want 4 (leader error reaches every waiter)", res.Failed)
+	}
+	if got := p.total.Load(); got != 1 {
+		t.Fatalf("predictor called %d times, want 1", got)
+	}
+}
+
+func TestExecuteDisableRetriesSentinel(t *testing.T) {
+	p := newScripted()
+	p.failFirst = 1
+	p.failErr = errors.New("transient: 503")
+	e, err := New(p, Config{Workers: 1, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(context.Background(), reqs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 3 {
+		t.Fatalf("Failed = %d, want 3 (MaxRetries: -1 must disable retries)", res.Failed)
+	}
+	if got := p.total.Load(); got != 3 {
+		t.Fatalf("predictor called %d times, want 3 (no retry attempts)", got)
+	}
+}

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"time"
 
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -55,6 +53,20 @@ type RoundTrace struct {
 // labels, exactly as the paper expands V_L and Y_L. Callers who need
 // the original map must copy it first.
 func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg BoostConfig) (*Results, []RoundTrace, error) {
+	return BoostWith(ctx, m, p, plan, cfg, ExecConfig{})
+}
+
+// BoostWith is Boost with bounded concurrency inside each round. Rounds
+// are already barriers — neighbor selections and prompts are fixed
+// before a round executes and pseudo-labels are applied only after it —
+// so running a round's queries in parallel is semantics-preserving:
+// with an order-independent predictor, any worker count produces
+// bit-identical rounds, predictions and token totals.
+//
+// A query whose dispatch fails permanently is dropped from the pending
+// set (its pseudo-label never appears) and reported in the aggregated
+// *QueryErrors returned alongside the partial results.
+func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg BoostConfig, ecfg ExecConfig) (*Results, []RoundTrace, error) {
 	if err := validatePlan(plan); err != nil {
 		return nil, nil, err
 	}
@@ -67,7 +79,13 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 	}
 
 	rec := obs.Active(ctx.Obs)
-	live := obs.Enabled(rec)
+	// One executor serves every round, so its response cache (when
+	// enabled) persists across rounds.
+	ex, tp, err := newPlanExecutor(p, ecfg, rec, "boost")
+	if err != nil {
+		return nil, nil, err
+	}
+	var qerrs QueryErrors
 
 	// isPseudo marks labels added during boosting, to count utilization.
 	isPseudo := map[tag.NodeID]bool{}
@@ -113,45 +131,51 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 			relaxG1Next = !relaxG1Next
 		}
 
-		// Step 2: execute this round's candidates.
+		// Step 2: execute this round's candidates. Their prompts are
+		// fixed here — before any of them runs — so the round can fan
+		// out across workers without changing what is asked.
 		roundPseudo := 0
-		executedSet := make(map[tag.NodeID]bool, len(cands))
-		type outcome struct {
-			v        tag.NodeID
-			category string
-		}
-		outcomes := make([]outcome, 0, len(cands))
+		planned := make([]plannedQuery, 0, len(cands))
 		for _, c := range cands {
 			for _, s := range c.sel {
 				if s.Label != "" && isPseudo[s.ID] {
 					roundPseudo++
 				}
 			}
-			promptText := predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0)
-			var span *obs.Span
-			var qStart time.Time
-			if live {
-				span = rec.StartSpan("core.query", "mode", "boost",
-					"node", strconv.Itoa(int(c.v)), "round", strconv.Itoa(round))
-				qStart = time.Now()
-			}
-			resp, err := p.Query(promptText)
-			if live {
-				rec.Observe(metricQuerySeconds, time.Since(qStart).Seconds(), "mode", "boost")
-				span.End()
-			}
-			if err != nil {
+			planned = append(planned, plannedQuery{
+				v:        c.v,
+				pruned:   plan.Prune[c.v],
+				equipped: len(c.sel) > 0,
+				prompt:   predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0),
+			})
+		}
+		batchOut, err := dispatch(ex, tp, planned)
+		if err != nil {
+			return nil, nil, err
+		}
+		executedSet := make(map[tag.NodeID]bool, len(planned))
+		type outcome struct {
+			v        tag.NodeID
+			category string
+		}
+		outcomes := make([]outcome, 0, len(planned))
+		// Apply results in candidate order, regardless of completion
+		// order across workers.
+		for _, q := range planned {
+			executedSet[q.v] = true
+			o := batchOut[q.v]
+			if o.Err != nil {
 				rec.Add(metricQueryErrors, 1, "mode", "boost")
-				return nil, nil, fmt.Errorf("core: boosting query for node %d: %w", c.v, err)
+				qerrs.add(q.v, fmt.Errorf("core: boosting query for node %d: %w", q.v, o.Err))
+				continue
 			}
-			recordQuery(rec, "boost", resp, plan.Prune[c.v], len(c.sel) > 0)
-			if len(c.sel) > 0 {
+			recordQuery(rec, "boost", o.Response, q.pruned, q.equipped)
+			if q.equipped {
 				res.Equipped++
 			}
-			res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
-			res.Pred[c.v] = resp.Category
-			outcomes = append(outcomes, outcome{v: c.v, category: resp.Category})
-			executedSet[c.v] = true
+			res.Meter.AddQuery(o.Response.InputTokens, o.Response.OutputTokens)
+			res.Pred[q.v] = o.Response.Category
+			outcomes = append(outcomes, outcome{v: q.v, category: o.Response.Category})
 		}
 
 		// Step 3: add pseudo-labels after the whole round, so queries
@@ -180,6 +204,9 @@ func Boost(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan P
 			Executed: len(outcomes), PseudoUses: roundPseudo,
 			KnownEntries: len(ctx.Known),
 		})
+	}
+	if len(qerrs.Errs) > 0 {
+		return res, trace, &qerrs
 	}
 	return res, trace, nil
 }

@@ -12,15 +12,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
 	"repro/internal/tag"
 	"repro/internal/token"
+	"repro/internal/xrand"
 )
 
 // Metric names emitted by plan execution; the full catalog lives in
@@ -115,36 +119,224 @@ func ExecuteQueryVanilla(ctx *predictors.Context, p llm.Predictor, v tag.NodeID)
 	return resp, nil
 }
 
-// Execute runs a plan in order with no boosting: every query sees only
-// the labels present in ctx.Known at the start (the paper's baseline
-// execution mode).
+// ExecConfig tunes how a plan's queries are dispatched to the
+// predictor. The zero value reproduces the historical serial behaviour:
+// one in-flight query, no retries, no rate limit, no budget cap.
+//
+// With Workers > 1 the queries of a plan (or of one boosting round,
+// whose prompts are fixed before the round executes) run concurrently
+// through the batch executor. Neighbor selection and prompt
+// construction stay on the calling goroutine and results are applied in
+// stable plan order, so — given an order-independent predictor such as
+// *llm.Sim or an HTTP endpoint at temperature 0 — predictions, token
+// totals and accuracy are bit-identical for any worker count. The one
+// exception is BudgetTokens: which queries are refused once a hard
+// token cap trips depends on completion order.
+type ExecConfig struct {
+	// Workers is the number of concurrent in-flight queries; values
+	// below 1 mean serial execution.
+	Workers int
+	// QPS caps the dispatch rate across workers; 0 means unlimited.
+	QPS float64
+	// MaxRetries bounds per-query retries on transient failures; 0
+	// keeps the serial path's fail-without-retry semantics.
+	MaxRetries int
+	// RetryDelay is the initial backoff between retries (default 100ms).
+	RetryDelay time.Duration
+	// MaxRetryDelay caps the exponential backoff (default 30s).
+	MaxRetryDelay time.Duration
+	// BudgetTokens, when > 0, hard-caps total tokens spent by this
+	// execution; queries starting past the cap fail with
+	// batch.ErrBudgetExhausted.
+	BudgetTokens int
+	// Cache serves repeated prompts from memory and single-flights
+	// concurrent duplicates.
+	Cache bool
+}
+
+// batchConfig translates an ExecConfig into the executor's config.
+func (cfg ExecConfig) batchConfig(rec obs.Recorder) batch.Config {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	retries := cfg.MaxRetries
+	if retries == 0 {
+		retries = -1 // core's default is no retries; -1 expresses that to batch
+	}
+	return batch.Config{
+		Workers:       workers,
+		QPS:           cfg.QPS,
+		MaxRetries:    retries,
+		RetryDelay:    cfg.RetryDelay,
+		MaxRetryDelay: cfg.MaxRetryDelay,
+		BudgetTokens:  cfg.BudgetTokens,
+		Cache:         cfg.Cache,
+		Obs:           rec,
+	}
+}
+
+// QueryErrors aggregates per-query failures from a plan execution.
+// Execution no longer aborts on the first failing query: the successful
+// queries' predictions are returned alongside this error, so one bad
+// query cannot void a large batch.
+type QueryErrors struct {
+	Errs map[tag.NodeID]error
+}
+
+// add records one failure, allocating lazily.
+func (e *QueryErrors) add(v tag.NodeID, err error) {
+	if e.Errs == nil {
+		e.Errs = make(map[tag.NodeID]error)
+	}
+	e.Errs[v] = err
+}
+
+// Error implements error with a deterministic summary (lowest node ID
+// first).
+func (e *QueryErrors) Error() string {
+	ids := make([]tag.NodeID, 0, len(e.Errs))
+	for v := range e.Errs {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) == 0 {
+		return "core: no query errors"
+	}
+	return fmt.Sprintf("core: %d queries failed; first: %v", len(ids), e.Errs[ids[0]])
+}
+
+// timedPredictor decorates predictor calls issued by the batch executor
+// with the per-query span and latency histogram the serial path used to
+// emit inline, so observability is identical on both paths.
+type timedPredictor struct {
+	inner llm.Predictor
+	rec   obs.Recorder
+	mode  string
+	// node maps prompt text back to the query node for span attributes.
+	// It is built (or updated) before the executor runs and only read
+	// while workers are live.
+	node map[string]string
+}
+
+// Name implements llm.Predictor.
+func (t *timedPredictor) Name() string { return t.inner.Name() }
+
+// Query implements llm.Predictor with span + histogram instrumentation.
+func (t *timedPredictor) Query(promptText string) (llm.Response, error) {
+	span := t.rec.StartSpan("core.query", "mode", t.mode, "node", t.node[promptText])
+	start := time.Now()
+	resp, err := t.inner.Query(promptText)
+	t.rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", t.mode)
+	span.End()
+	return resp, err
+}
+
+// plannedQuery is one query with its prompt fixed ahead of dispatch.
+type plannedQuery struct {
+	v        tag.NodeID
+	pruned   bool
+	equipped bool
+	prompt   string
+}
+
+// buildQueries materializes selections and prompts for the given nodes
+// on the calling goroutine, keeping Method and Context single-threaded.
+func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, prune map[tag.NodeID]bool) []plannedQuery {
+	out := make([]plannedQuery, 0, len(queries))
+	for _, v := range queries {
+		var sel []predictors.Selected
+		if !prune[v] {
+			sel = m.Select(ctx, v)
+		}
+		out = append(out, plannedQuery{
+			v:        v,
+			pruned:   prune[v],
+			equipped: len(sel) > 0,
+			prompt:   predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0),
+		})
+	}
+	return out
+}
+
+// newPlanExecutor wraps p for one plan execution: instrumented when a
+// recorder is live, and fronted by a bounded-concurrency batch
+// executor. The returned timedPredictor is nil when instrumentation is
+// off.
+func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode string) (*batch.Executor, *timedPredictor, error) {
+	var tp *timedPredictor
+	qp := p
+	if obs.Enabled(rec) {
+		tp = &timedPredictor{inner: p, rec: rec, mode: mode, node: map[string]string{}}
+		qp = tp
+	}
+	ex, err := batch.New(qp, cfg.batchConfig(rec))
+	return ex, tp, err
+}
+
+// dispatch runs the planned queries through the executor and returns
+// outcomes keyed by node. Prompts are already fixed, so concurrent
+// dispatch cannot change what is asked — only how fast.
+func dispatch(ex *batch.Executor, tp *timedPredictor, planned []plannedQuery) (map[tag.NodeID]batch.Outcome, error) {
+	reqs := make([]batch.Request, len(planned))
+	for i, q := range planned {
+		reqs[i] = batch.Request{ID: strconv.Itoa(int(q.v)), Prompt: q.prompt}
+		if tp != nil {
+			tp.node[q.prompt] = reqs[i].ID
+		}
+	}
+	res, err := ex.Execute(context.Background(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[tag.NodeID]batch.Outcome, len(planned))
+	for i, q := range planned {
+		out[q.v] = res.Outcomes[reqs[i].ID]
+	}
+	return out, nil
+}
+
+// Execute runs a plan with no boosting: every query sees only the
+// labels present in ctx.Known at the start (the paper's baseline
+// execution mode). It is ExecuteWith at the zero (serial) ExecConfig.
 func Execute(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan) (*Results, error) {
+	return ExecuteWith(ctx, m, p, plan, ExecConfig{})
+}
+
+// ExecuteWith is Execute with bounded concurrency: prompts for the
+// whole plan are constructed up front, dispatched through the batch
+// executor under cfg, and the results applied in stable plan order.
+// Per-query failures are aggregated into a *QueryErrors returned
+// alongside the successful queries' Results.
+func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg ExecConfig) (*Results, error) {
 	rec := obs.Active(ctx.Obs)
-	live := obs.Enabled(rec)
 	res := &Results{Pred: make(map[tag.NodeID]string, len(plan.Queries)), Rounds: 1}
-	for _, v := range plan.Queries {
-		pruned := plan.Prune[v]
-		var span *obs.Span
-		var start time.Time
-		if live {
-			span = rec.StartSpan("core.query", "mode", "plain", "node", strconv.Itoa(int(v)))
-			start = time.Now()
-		}
-		resp, sel, err := ExecuteQuery(ctx, m, p, v, pruned)
-		if live {
-			rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", "plain")
-			span.End()
-		}
-		if err != nil {
+	ex, tp, err := newPlanExecutor(p, cfg, rec, "plain")
+	if err != nil {
+		return nil, err
+	}
+	planned := buildQueries(ctx, m, plan.Queries, plan.Prune)
+	outcomes, err := dispatch(ex, tp, planned)
+	if err != nil {
+		return nil, err
+	}
+	var qerrs QueryErrors
+	for _, q := range planned {
+		o := outcomes[q.v]
+		if o.Err != nil {
 			rec.Add(metricQueryErrors, 1, "mode", "plain")
-			return nil, err
+			qerrs.add(q.v, fmt.Errorf("core: query for node %d: %w", q.v, o.Err))
+			continue
 		}
-		if len(sel) > 0 {
+		if q.equipped {
 			res.Equipped++
 		}
-		recordQuery(rec, "plain", resp, pruned, len(sel) > 0)
-		res.Pred[v] = resp.Category
-		res.Meter.AddQuery(resp.InputTokens, resp.OutputTokens)
+		recordQuery(rec, "plain", o.Response, q.pruned, q.equipped)
+		res.Pred[q.v] = o.Response.Category
+		res.Meter.AddQuery(o.Response.InputTokens, o.Response.OutputTokens)
+	}
+	if len(qerrs.Errs) > 0 {
+		return res, &qerrs
 	}
 	return res, nil
 }
@@ -175,6 +367,11 @@ func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor
 // building (but not executing) the prompts of a sample of queries. It
 // implements the paper's footnote that both averages "can be estimated
 // through statistical analysis or approximation".
+//
+// When sample is smaller than the query set, the sampled queries are
+// drawn uniformly with a deterministic stream keyed by ctx.Seed —
+// sampling the prefix instead would bias τ-for-budget whenever the
+// query set arrives ordered (by degree, score, or node ID).
 func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int) (perQuery, perNeighborText float64) {
 	if len(queries) == 0 {
 		return 0, 0
@@ -182,8 +379,18 @@ func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries [
 	if sample <= 0 || sample > len(queries) {
 		sample = len(queries)
 	}
+	sampled := queries
+	if sample < len(queries) {
+		rng := xrand.New(ctx.Seed).SplitString("core/estimate-tokens")
+		idx := rng.Sample(len(queries), sample)
+		sort.Ints(idx)
+		sampled = make([]tag.NodeID, sample)
+		for i, j := range idx {
+			sampled[i] = queries[j]
+		}
+	}
 	var full, bare float64
-	for _, v := range queries[:sample] {
+	for _, v := range sampled {
 		sel := m.Select(ctx, v)
 		withNb := predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0)
 		vanilla := predictors.BuildPrompt(ctx, v, nil, false)

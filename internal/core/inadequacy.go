@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
+	"repro/internal/batch"
 	"repro/internal/encode"
 	"repro/internal/llm"
 	"repro/internal/nn"
@@ -30,6 +33,11 @@ type InadequacyConfig struct {
 	Ridge float64
 	// Seed drives fold assignment and calibration sampling.
 	Seed uint64
+	// Exec tunes how the calibration queries are dispatched (workers,
+	// QPS, retries, budget); the zero value is serial. Calibration
+	// prompts are independent zero-shot queries, so their statistics are
+	// identical for any worker count.
+	Exec ExecConfig
 }
 
 // DefaultInadequacyConfig returns the paper's small-dataset setting: a
@@ -108,18 +116,37 @@ func FitInadequacy(g *tag.Graph, labeled []tag.NodeID, p llm.Predictor, nodeType
 	// One zero-shot query per calibration node provides both the
 	// per-class misclassification ratios w (step 2) and the per-node
 	// error indicators that supervise g_θ2 (step 3) — V_L^c is paid for
-	// exactly once, as in the paper.
+	// exactly once, as in the paper. The queries are independent, so
+	// they dispatch through the batch executor under cfg.Exec and the
+	// tallies are applied in calibration order.
+	ex, err := batch.New(p, cfg.Exec.batchConfig(nil))
+	if err != nil {
+		return nil, fmt.Errorf("core: bias calibration: %w", err)
+	}
+	reqs := make([]batch.Request, len(calib))
+	for i, v := range calib {
+		reqs[i] = batch.Request{ID: strconv.Itoa(int(v)), Prompt: prompt.Build(prompt.Request{
+			TargetTitle:    g.Nodes[v].Title,
+			TargetAbstract: g.Nodes[v].Abstract,
+			Categories:     g.Classes,
+			NodeType:       nodeType,
+		})}
+	}
+	bres, err := ex.Execute(context.Background(), reqs)
+	if err != nil {
+		return nil, fmt.Errorf("core: bias calibration: %w", err)
+	}
 	wrong := make([]float64, k)
 	count := make([]float64, k)
 	errIndicator := make([]float64, len(calib))
 	for i, v := range calib {
-		resp, err := zeroShot(p, g, v, nodeType)
-		if err != nil {
-			return nil, fmt.Errorf("core: bias calibration: %w", err)
+		o := bres.Outcomes[reqs[i].ID]
+		if o.Err != nil {
+			return nil, fmt.Errorf("core: bias calibration: %w", o.Err)
 		}
 		y := g.Nodes[v].Label
 		count[y]++
-		if resp.Category != g.Classes[y] {
+		if o.Response.Category != g.Classes[y] {
 			wrong[y]++
 			errIndicator[i] = 1
 		}

@@ -28,9 +28,9 @@ func runAblationGamma(cfg Config) (string, error) {
 		for _, g2 := range []int{1, 2, 3} {
 			ctx := d.ctx(cfg)
 			sim := d.sim(gpt35(), cfg)
-			res, trace, err := core.Boost(ctx, m, sim,
+			res, trace, err := core.BoostWith(ctx, m, sim,
 				core.Plan{Queries: d.split.Query},
-				core.BoostConfig{Gamma1: g1, Gamma2: g2})
+				core.BoostConfig{Gamma1: g1, Gamma2: g2}, cfg.exec())
 			if err != nil {
 				return "", errf("ablation-gamma", err)
 			}
@@ -68,7 +68,7 @@ func runAblationM(cfg Config) (string, error) {
 			if m == 0 {
 				method = predictors.Vanilla{}
 			}
-			res, err := core.Execute(ctx, method, sim, core.Plan{Queries: d.split.Query})
+			res, err := core.ExecuteWith(ctx, method, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 			if err != nil {
 				return "", errf("ablation-m", err)
 			}

@@ -50,7 +50,7 @@ func runAblationEncoder(cfg Config) (string, error) {
 				ctx.SetSimilarity(backend.sim)
 			}
 			sim := d.sim(gpt35(), cfg)
-			res, err := core.Execute(ctx, predictors.SNS{}, sim, core.Plan{Queries: d.split.Query})
+			res, err := core.ExecuteWith(ctx, predictors.SNS{}, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 			if err != nil {
 				return "", errf("ablation-encoder", err)
 			}

@@ -25,6 +25,17 @@ type Config struct {
 	// Fast shrinks datasets and query counts so the experiment finishes
 	// in benchmark/test time; the full setting mirrors the paper.
 	Fast bool
+	// Workers bounds concurrent LLM queries during plan execution; 0 or
+	// 1 is serial. Experiment outputs are identical for any value.
+	Workers int
+	// QPS rate-limits query dispatch; 0 disables rate limiting.
+	QPS float64
+}
+
+// exec lowers the config's concurrency knobs for core.ExecuteWith and
+// core.BoostWith.
+func (cfg Config) exec() core.ExecConfig {
+	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS}
 }
 
 // Experiment is one regenerable paper artifact.
@@ -57,6 +68,7 @@ func All() []Experiment {
 		{ID: "ablation-encoder", Title: "Ablation: SNS similarity backend (TF-IDF / SGNS / BoW)", Run: runAblationEncoder},
 		{ID: "cost-projection", Title: "Section I: full-graph classification priced in dollars", Run: runCostProjection},
 		{ID: "prefix-sharing", Title: "Section II-C: serving-level prefix sharing vs graph-aware pruning", Run: runPrefixSharing},
+		{ID: "concurrency", Title: "Concurrent plan execution: wall-clock speedup at identical results", Run: runConcurrency},
 	}
 }
 
@@ -162,6 +174,7 @@ func (d *dataset) sim(p llm.Profile, cfg Config) *llm.Sim {
 func (d *dataset) inadequacyConfig(cfg Config) core.InadequacyConfig {
 	ic := core.DefaultInadequacyConfig()
 	ic.Seed = cfg.Seed + 13
+	ic.Exec = cfg.exec()
 	if cfg.Fast {
 		ic.MLP.Epochs = 40
 		ic.MaxFeatures = 256

@@ -126,7 +126,7 @@ func runAblationChannels(cfg Config) (string, error) {
 		for _, s := range ss[:int(tau*float64(len(ss)))] {
 			p.Prune[s.v] = true
 		}
-		res, err := core.Execute(d.ctx(cfg), m, sim, p)
+		res, err := core.ExecuteWith(d.ctx(cfg), m, sim, p, cfg.exec())
 		if err != nil {
 			return 0, err
 		}

@@ -72,7 +72,7 @@ func runGNNBaseline(cfg Config) (string, error) {
 		for _, m := range []predictors.Method{predictors.Vanilla{}, predictors.KHopRandom{K: 1}, predictors.SNS{}} {
 			ctx := d.ctx(cfg)
 			sim := d.sim(gpt35(), cfg)
-			res, err := core.Execute(ctx, m, sim, core.Plan{Queries: d.split.Query})
+			res, err := core.ExecuteWith(ctx, m, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 			if err != nil {
 				return "", errf("gnn-baseline", err)
 			}

@@ -96,13 +96,13 @@ func runTable4(cfg Config) (string, error) {
 		for _, m := range methods {
 			ctxBase := d.ctx(cfg)
 			ctxBase.SetSimilarity(shared)
-			base, err := core.Execute(ctxBase, m, sim, core.Plan{Queries: d.split.Query})
+			base, err := core.ExecuteWith(ctxBase, m, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 			if err != nil {
 				return "", errf("table4", err)
 			}
 			ctxPruned := d.ctx(cfg)
 			ctxPruned.SetSimilarity(shared)
-			pruned, err := core.Execute(ctxPruned, m, sim, plan)
+			pruned, err := core.ExecuteWith(ctxPruned, m, sim, plan, cfg.exec())
 			if err != nil {
 				return "", errf("table4", err)
 			}
@@ -167,12 +167,12 @@ func runFig7(cfg Config) (string, error) {
 		oracle := make([]float64, len(inclusion))
 		for i, inc := range inclusion {
 			tau := 1 - inc
-			resO, err := core.Execute(d.ctx(cfg), m, sim, core.PrunePlan(iq, d.g, d.split.Query, tau))
+			resO, err := core.ExecuteWith(d.ctx(cfg), m, sim, core.PrunePlan(iq, d.g, d.split.Query, tau), cfg.exec())
 			if err != nil {
 				return "", errf("fig7", err)
 			}
 			ours[i] = core.Accuracy(d.g, resO.Pred)
-			resR, err := core.Execute(d.ctx(cfg), m, sim, core.RandomPrunePlan(d.split.Query, tau, cfg.Seed+uint64(i)*31))
+			resR, err := core.ExecuteWith(d.ctx(cfg), m, sim, core.RandomPrunePlan(d.split.Query, tau, cfg.Seed+uint64(i)*31), cfg.exec())
 			if err != nil {
 				return "", errf("fig7", err)
 			}
@@ -182,7 +182,7 @@ func runFig7(cfg Config) (string, error) {
 			if err != nil {
 				return "", errf("fig7", err)
 			}
-			resU, err := core.Execute(d.ctx(cfg), m, sim, oraclePlan)
+			resU, err := core.ExecuteWith(d.ctx(cfg), m, sim, oraclePlan, cfg.exec())
 			if err != nil {
 				return "", errf("fig7", err)
 			}
@@ -268,13 +268,13 @@ func runTable7(cfg Config) (string, error) {
 				shared := predictors.NewSimilarity(d.g)
 				ctxB := d.ctx(cfg)
 				ctxB.SetSimilarity(shared)
-				base, err := core.Execute(ctxB, m, sim, core.Plan{Queries: d.split.Query})
+				base, err := core.ExecuteWith(ctxB, m, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 				if err != nil {
 					return "", errf("table7", err)
 				}
 				ctxQ := d.ctx(cfg)
 				ctxQ.SetSimilarity(shared)
-				boosted, _, err := core.Boost(ctxQ, m, sim, core.Plan{Queries: d.split.Query}, core.DefaultBoostConfig())
+				boosted, _, err := core.BoostWith(ctxQ, m, sim, core.Plan{Queries: d.split.Query}, core.DefaultBoostConfig(), cfg.exec())
 				if err != nil {
 					return "", errf("table7", err)
 				}
@@ -319,7 +319,7 @@ func runTable8(cfg Config) (string, error) {
 
 				ctxB := d.ctx(cfg)
 				ctxB.SetSimilarity(shared)
-				base, err := core.Execute(ctxB, m, sim, core.Plan{Queries: d.split.Query})
+				base, err := core.ExecuteWith(ctxB, m, sim, core.Plan{Queries: d.split.Query}, cfg.exec())
 				if err != nil {
 					return "", errf("table8", err)
 				}
@@ -331,7 +331,7 @@ func runTable8(cfg Config) (string, error) {
 				plan := core.PrunePlan(iq, d.g, d.split.Query, 0.20)
 				ctxJ := d.ctx(cfg)
 				ctxJ.SetSimilarity(shared)
-				joint, _, err := core.Boost(ctxJ, m, sim, plan, core.DefaultBoostConfig())
+				joint, _, err := core.BoostWith(ctxJ, m, sim, plan, core.DefaultBoostConfig(), cfg.exec())
 				if err != nil {
 					return "", errf("table8", err)
 				}

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -38,6 +37,11 @@ type HTTPConfig struct {
 	// RetryBaseDelay is the initial backoff, doubled per retry
 	// (default 200ms).
 	RetryBaseDelay time.Duration
+	// MaxRetryDelay caps the exponential backoff (default 30s). Without
+	// a cap, doubling overflows time.Duration after ~60 retries and the
+	// negative delay makes time.After fire immediately, hammering an
+	// already-struggling endpoint.
+	MaxRetryDelay time.Duration
 	// Timeout bounds each HTTP round trip (default 60s).
 	Timeout time.Duration
 	// Client overrides the transport; nil uses a client with Timeout.
@@ -73,6 +77,9 @@ func NewHTTPPredictor(cfg HTTPConfig) (*HTTPPredictor, error) {
 	if cfg.RetryBaseDelay <= 0 {
 		cfg.RetryBaseDelay = 200 * time.Millisecond
 	}
+	if cfg.MaxRetryDelay <= 0 {
+		cfg.MaxRetryDelay = DefaultMaxRetryDelay
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 60 * time.Second
 	}
@@ -87,7 +94,9 @@ func NewHTTPPredictor(cfg HTTPConfig) (*HTTPPredictor, error) {
 func (c *HTTPPredictor) Name() string { return c.cfg.Model }
 
 // Meter returns the client-side token meter (cumulative usage of all
-// queries, successful or not as reported by the server).
+// queries, successful or not as reported by the server). The meter is
+// synchronized, so it stays consistent when the predictor serves a
+// multi-worker batch executor.
 func (c *HTTPPredictor) Meter() *token.Meter { return &c.meter }
 
 // chat-completions wire format (the subset this client uses).
@@ -140,6 +149,35 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
+// DefaultMaxRetryDelay is the default backoff ceiling shared by this
+// client and the batch executor.
+const DefaultMaxRetryDelay = 30 * time.Second
+
+// RetryBackoff returns the exponential backoff before retry attempt
+// (attempt ≥ 1 is the first retry): base doubled attempt−1 times,
+// capped at max. The cap is what keeps very long retry schedules sane —
+// unchecked doubling overflows time.Duration into a negative value,
+// which time.After treats as "fire now".
+func RetryBackoff(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = DefaultMaxRetryDelay
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		if d >= max/2 {
+			return max
+		}
+		d *= 2
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
 // Query implements Predictor: one chat-completions call with retries.
 // The category is parsed from the model's answer with the Table III
 // response format; an answer not in that format is used verbatim
@@ -161,7 +199,7 @@ func (c *HTTPPredictor) QueryContext(ctx context.Context, promptText string) (Re
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			delay := time.Duration(float64(c.cfg.RetryBaseDelay) * math.Pow(2, float64(attempt-1)))
+			delay := RetryBackoff(c.cfg.RetryBaseDelay, c.cfg.MaxRetryDelay, attempt)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():

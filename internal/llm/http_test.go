@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -289,5 +290,78 @@ func TestHandlerRequestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET -> %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := 30 * time.Second
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{10, 30 * time.Second},
+		// Regression: shifting/doubling by the raw attempt count used to
+		// overflow int64 into negative delays past attempt ~64.
+		{64, 30 * time.Second},
+		{100, 30 * time.Second},
+		{1 << 20, 30 * time.Second},
+	}
+	for _, c := range cases {
+		got := llm.RetryBackoff(base, max, c.attempt)
+		if got != c.want {
+			t.Errorf("RetryBackoff(%v, %v, %d) = %v, want %v", base, max, c.attempt, got, c.want)
+		}
+		if got < 0 {
+			t.Fatalf("RetryBackoff(%v, %v, %d) went negative: %v", base, max, c.attempt, got)
+		}
+	}
+	if d := llm.RetryBackoff(0, max, 50); d != 0 {
+		t.Errorf("zero base must yield zero delay, got %v", d)
+	}
+	if d := llm.RetryBackoff(time.Second, 0, 80); d != llm.DefaultMaxRetryDelay {
+		t.Errorf("zero max must default to %v, got %v", llm.DefaultMaxRetryDelay, d)
+	}
+}
+
+func TestHTTPConcurrentQueriesMeterRace(t *testing.T) {
+	// Regression for a data race on HTTPPredictor.meter: one client
+	// shared by many workers must meter all queries without racing (run
+	// under -race) and without losing counts.
+	g, promptText, _ := testGraphAndPrompt(t)
+	h := llm.NewHandler(llm.NewSim(llm.GPT35(), g.Vocab, g.Classes, 9))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Query(promptText); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.Meter().Queries(); got != workers*perWorker {
+		t.Fatalf("meter recorded %d queries, want %d", got, workers*perWorker)
+	}
+	if c.Meter().InputTokens() <= 0 || c.Meter().OutputTokens() <= 0 {
+		t.Fatalf("meter token totals not recorded: in=%d out=%d",
+			c.Meter().InputTokens(), c.Meter().OutputTokens())
 	}
 }

@@ -123,8 +123,12 @@ func GPT4oMini() Profile {
 	}
 }
 
-// Sim is the simulated black-box LLM. It is safe for sequential use;
-// queries mutate only the usage meter.
+// Sim is the simulated black-box LLM. It is safe for concurrent use:
+// queries read immutable state built by NewSim and mutate only the
+// synchronized usage meter. Decisions are keyed by hash(seed, prompt)
+// rather than sequential RNG state, so a given prompt receives the same
+// answer no matter how many workers issue the batch or in what order —
+// the property the concurrent plan executor's determinism rests on.
 type Sim struct {
 	profile   Profile
 	wordClass map[string]string // word -> class name (noisy knowledge)

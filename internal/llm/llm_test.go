@@ -2,6 +2,7 @@ package llm
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/prompt"
@@ -398,5 +399,67 @@ func TestPromptPerturbationCanChangeAnswer(t *testing.T) {
 	}
 	if !flipped {
 		t.Fatal("no perturbation changed any answer; noise appears prompt-independent")
+	}
+}
+
+func TestSimOrderIndependentUnderConcurrency(t *testing.T) {
+	// The concurrency tentpole relies on Sim keying every decision on
+	// hash(seed, prompt), never on call order: a serial pass and a
+	// scrambled concurrent pass over the same prompts must agree
+	// prediction-for-prediction and token-for-token.
+	g, _ := testGraph(t, 300)
+	prompts := make([]string, 60)
+	for i := range prompts {
+		prompts[i] = buildVanilla(g, tag.NodeID(i))
+	}
+
+	serial := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	want := make([]Response, len(prompts))
+	for i, p := range prompts {
+		r, err := serial.Query(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	concurrent := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	got := make([]Response, len(prompts))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(prompts))
+	// Reverse order across 8 goroutines to scramble scheduling.
+	sem := make(chan struct{}, 8)
+	for i := len(prompts) - 1; i >= 0; i-- {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := concurrent.Query(prompts[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			got[i] = r
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := range prompts {
+		if got[i].Category != want[i].Category {
+			t.Fatalf("prompt %d: concurrent category %q != serial %q", i, got[i].Category, want[i].Category)
+		}
+		if got[i].InputTokens != want[i].InputTokens || got[i].OutputTokens != want[i].OutputTokens {
+			t.Fatalf("prompt %d: concurrent usage (%d,%d) != serial (%d,%d)", i,
+				got[i].InputTokens, got[i].OutputTokens, want[i].InputTokens, want[i].OutputTokens)
+		}
+	}
+	if concurrent.Meter().Total() != serial.Meter().Total() {
+		t.Fatalf("meter totals differ: concurrent %d != serial %d",
+			concurrent.Meter().Total(), serial.Meter().Total())
 	}
 }

@@ -13,6 +13,7 @@ package token
 
 import (
 	"strings"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -154,31 +155,44 @@ func wordTokens(w string) int {
 // Meter accumulates token usage across many queries. It is the
 // repository's implementation of the paper's Tokens(π ∘ v_i) accounting
 // in Eq. 2.
+//
+// All methods use atomic operations, so one meter can total queries
+// issued concurrently from many batch-executor workers; because
+// addition commutes, the totals are identical regardless of completion
+// order. The fields stay plain int64 (not mutex-guarded) so finished
+// meters remain copyable values, as the cost-model APIs expect; only
+// copying a meter *while* queries are still in flight would tear.
 type Meter struct {
-	queries int
-	input   int
-	output  int
+	queries int64
+	input   int64
+	output  int64
 }
 
 // AddQuery records one executed query with the given input and output
 // token counts.
 func (m *Meter) AddQuery(inputTokens, outputTokens int) {
-	m.queries++
-	m.input += inputTokens
-	m.output += outputTokens
+	atomic.AddInt64(&m.queries, 1)
+	atomic.AddInt64(&m.input, int64(inputTokens))
+	atomic.AddInt64(&m.output, int64(outputTokens))
 }
 
 // Queries returns the number of recorded queries.
-func (m *Meter) Queries() int { return m.queries }
+func (m *Meter) Queries() int { return int(atomic.LoadInt64(&m.queries)) }
 
 // InputTokens returns total input tokens across recorded queries.
-func (m *Meter) InputTokens() int { return m.input }
+func (m *Meter) InputTokens() int { return int(atomic.LoadInt64(&m.input)) }
 
 // OutputTokens returns total output tokens across recorded queries.
-func (m *Meter) OutputTokens() int { return m.output }
+func (m *Meter) OutputTokens() int { return int(atomic.LoadInt64(&m.output)) }
 
 // Total returns total tokens (input + output).
-func (m *Meter) Total() int { return m.input + m.output }
+func (m *Meter) Total() int {
+	return int(atomic.LoadInt64(&m.input) + atomic.LoadInt64(&m.output))
+}
 
 // Reset clears the meter.
-func (m *Meter) Reset() { *m = Meter{} }
+func (m *Meter) Reset() {
+	atomic.StoreInt64(&m.queries, 0)
+	atomic.StoreInt64(&m.input, 0)
+	atomic.StoreInt64(&m.output, 0)
+}

@@ -95,6 +95,16 @@ type BoostConfig = core.BoostConfig
 // pseudo-label uses.
 type RoundTrace = core.RoundTrace
 
+// ExecConfig bounds how a plan's queries are dispatched: worker count,
+// QPS, retries, token budget and response caching. The zero value runs
+// serially with no retries — the historical Execute/Boost behavior.
+type ExecConfig = core.ExecConfig
+
+// QueryErrors aggregates per-query failures from a concurrent
+// execution; the partial results for the queries that succeeded are
+// returned alongside it.
+type QueryErrors = core.QueryErrors
+
 // DefaultInadequacyConfig returns the paper's small-dataset setting.
 func DefaultInadequacyConfig() InadequacyConfig { return core.DefaultInadequacyConfig() }
 
@@ -127,10 +137,27 @@ func Execute(ctx *Context, m Method, p Predictor, plan Plan) (*Results, error) {
 	return core.Execute(ctx, m, p, plan)
 }
 
+// ExecuteWith is Execute with bounded concurrency: queries fan out
+// across cfg.Workers workers and results are applied in plan order, so
+// an order-independent predictor (such as Sim) yields bit-identical
+// results for any worker count. Per-query failures are aggregated into
+// a *QueryErrors returned alongside the partial results.
+func ExecuteWith(ctx *Context, m Method, p Predictor, plan Plan, cfg ExecConfig) (*Results, error) {
+	return core.ExecuteWith(ctx, m, p, plan, cfg)
+}
+
 // Boost executes a plan with Algorithm 2's scheduled rounds, feeding
 // pseudo-labels from earlier rounds into later prompts.
 func Boost(ctx *Context, m Method, p Predictor, plan Plan, cfg BoostConfig) (*Results, []RoundTrace, error) {
 	return core.Boost(ctx, m, p, plan, cfg)
+}
+
+// BoostWith is Boost with bounded concurrency inside each round.
+// Rounds are barriers — prompts are fixed before a round runs and
+// pseudo-labels are applied after — so intra-round parallelism
+// preserves Algorithm 2's semantics exactly.
+func BoostWith(ctx *Context, m Method, p Predictor, plan Plan, cfg BoostConfig, ecfg ExecConfig) (*Results, []RoundTrace, error) {
+	return core.BoostWith(ctx, m, p, plan, cfg, ecfg)
 }
 
 // SavePlan writes an execution plan as a versioned JSON document, so
@@ -168,7 +195,9 @@ func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor
 
 // EstimateQueryTokens samples prompt constructions to estimate the
 // average tokens per full query and per neighbor-text block. sample=0
-// uses every query.
+// uses every query; otherwise a seeded uniform sample of the queries
+// is drawn (keyed by ctx.Seed), so the estimate is unbiased by query
+// order.
 func EstimateQueryTokens(ctx *Context, m Method, queries []NodeID, sample int) (perQuery, perNeighborText float64) {
 	return core.EstimateQueryTokens(ctx, m, queries, sample)
 }

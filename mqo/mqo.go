@@ -133,10 +133,39 @@ type Options struct {
 	// BoostConfig overrides γ1/γ2; nil uses the paper's γ1=3, γ2=2.
 	BoostConfig *BoostConfig
 
+	// Workers bounds how many LLM queries run concurrently; 0 or 1
+	// means serial. With the simulator (order-independent by
+	// construction) any worker count yields bit-identical predictions,
+	// accuracy and token totals.
+	Workers int
+	// QPS rate-limits query dispatch across all workers; 0 disables
+	// rate limiting.
+	QPS float64
+	// BudgetTokens, when > 0, hard-stops dispatch once the combined
+	// input+output token total reaches it; remaining queries fail with
+	// a budget error. Note that with Workers > 1 the exact cut-off
+	// point depends on completion order.
+	BudgetTokens int
+	// Cache deduplicates identical prompts within one run: repeated
+	// prompts are served from an in-memory response cache, and
+	// concurrent identical prompts coalesce into a single LLM call.
+	Cache bool
+
 	// Obs receives pipeline metrics and spans for this run; nil routes
 	// to the process-default recorder (no-op unless SetDefaultRecorder
 	// installed a registry).
 	Obs Recorder
+}
+
+// execConfig lowers the concurrency knobs into the core executor
+// configuration shared by calibration, plain execution and boosting.
+func (o Options) execConfig() core.ExecConfig {
+	return core.ExecConfig{
+		Workers:      o.Workers,
+		QPS:          o.QPS,
+		BudgetTokens: o.BudgetTokens,
+		Cache:        o.Cache,
+	}
 }
 
 // Report is the outcome of one optimized multi-query execution.
@@ -162,6 +191,11 @@ type Report struct {
 // then execute the batch either directly or with query-boosting rounds
 // (Algorithm 2). It is the programmatic equivalent of the paper's
 // "w/ prune & boost" configuration when both flags are set.
+//
+// Options.Workers/QPS/BudgetTokens/Cache bound how the batch is
+// dispatched; see Options. When individual queries fail permanently,
+// Optimize returns the partial Report together with an error wrapping
+// a *QueryErrors describing every failed query.
 func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) {
 	if w == nil || w.Graph == nil {
 		return nil, errors.New("mqo: nil workload")
@@ -180,6 +214,8 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 
 	rep := &Report{}
 	plan := Plan{Queries: w.Queries}
+	ecfg := opt.execConfig()
+	var execErr error
 
 	if opt.Prune {
 		tau := opt.Tau
@@ -197,6 +233,9 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 			cfg := core.DefaultInadequacyConfig()
 			if opt.Inadequacy != nil {
 				cfg = *opt.Inadequacy
+			}
+			if cfg.Exec == (core.ExecConfig{}) {
+				cfg.Exec = ecfg
 			}
 			fitSpan := rec.StartSpan("mqo.fit_inadequacy")
 			iq, err := core.FitInadequacy(w.Graph, w.Labeled, p, ctx.NodeType, cfg)
@@ -216,20 +255,28 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 		if opt.BoostConfig != nil {
 			cfg = *opt.BoostConfig
 		}
-		res, trace, err := core.Boost(ctx, m, p, plan, cfg)
-		if err != nil {
+		res, trace, err := core.BoostWith(ctx, m, p, plan, cfg, ecfg)
+		if err != nil && res == nil {
 			return nil, fmt.Errorf("mqo: boosting: %w", err)
 		}
 		rep.Results = res
 		rep.Rounds = trace
+		execErr = err
 	} else {
-		res, err := core.Execute(ctx, m, p, plan)
-		if err != nil {
+		res, err := core.ExecuteWith(ctx, m, p, plan, ecfg)
+		if err != nil && res == nil {
 			return nil, fmt.Errorf("mqo: executing plan: %w", err)
 		}
 		rep.Results = res
+		execErr = err
 	}
 	rep.Accuracy = core.Accuracy(w.Graph, rep.Results.Pred)
+	if execErr != nil {
+		// Per-query failures (a *QueryErrors) come back alongside the
+		// partial report: the successful predictions, their token totals
+		// and the accuracy over them remain usable.
+		return rep, fmt.Errorf("mqo: %w", execErr)
+	}
 	return rep, nil
 }
 

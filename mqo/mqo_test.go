@@ -235,3 +235,63 @@ func TestOptimizeDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimizeWorkersDeterministic is the acceptance check for the
+// concurrency knobs: the full pipeline (prune + boost) at Workers=8
+// must reproduce the serial run bit for bit — same accuracy, same
+// per-node predictions, same token totals.
+func TestOptimizeWorkersDeterministic(t *testing.T) {
+	run := func(workers int) *Report {
+		t.Helper()
+		w, p := smallWorkload(t, 4)
+		rep, err := Optimize(w, KHopRandom{K: 1}, p, Options{
+			Prune: true, Tau: 0.2, Boost: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("Optimize(workers=%d): %v", workers, err)
+		}
+		return rep
+	}
+
+	serial := run(1)
+	for _, workers := range []int{4, 8} {
+		rep := run(workers)
+		if rep.Accuracy != serial.Accuracy {
+			t.Fatalf("workers=%d accuracy %.6f != serial %.6f", workers, rep.Accuracy, serial.Accuracy)
+		}
+		if len(rep.Results.Pred) != len(serial.Results.Pred) {
+			t.Fatalf("workers=%d predicted %d nodes, serial %d", workers,
+				len(rep.Results.Pred), len(serial.Results.Pred))
+		}
+		for v, cat := range serial.Results.Pred {
+			if rep.Results.Pred[v] != cat {
+				t.Fatalf("workers=%d node %d predicted %q, serial %q", workers, v, rep.Results.Pred[v], cat)
+			}
+		}
+		if rep.Results.Meter.Total() != serial.Results.Meter.Total() ||
+			rep.Results.Meter.Queries() != serial.Results.Meter.Queries() {
+			t.Fatalf("workers=%d token totals (%d tokens, %d queries) != serial (%d, %d)",
+				workers, rep.Results.Meter.Total(), rep.Results.Meter.Queries(),
+				serial.Results.Meter.Total(), serial.Results.Meter.Queries())
+		}
+		if rep.CalibrationQueries != serial.CalibrationQueries {
+			t.Fatalf("workers=%d calibration queries %d != serial %d",
+				workers, rep.CalibrationQueries, serial.CalibrationQueries)
+		}
+		if len(rep.Rounds) != len(serial.Rounds) {
+			t.Fatalf("workers=%d boosting rounds %d != serial %d",
+				workers, len(rep.Rounds), len(serial.Rounds))
+		}
+	}
+}
+
+func TestOptimizeCacheCoalescesDuplicates(t *testing.T) {
+	w, p := smallWorkload(t, 6)
+	rep, err := Optimize(w, KHopRandom{K: 1}, p, Options{Workers: 4, Cache: true})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if got := len(rep.Results.Pred); got != len(w.Queries) {
+		t.Fatalf("predictions = %d, want %d", got, len(w.Queries))
+	}
+}

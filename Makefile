@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench chaos check
 
 all: check
 
@@ -18,5 +18,15 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# chaos runs the fault-injection experiment at a fixed seed and asserts
+# that the surrogate fallback actually answered queries and that the
+# run reproduced across worker counts (the experiment fails otherwise).
+chaos:
+	$(GO) run ./cmd/mqobench -exp faults -fast -seed 1 > chaos.log; \
+		status=$$?; cat chaos.log; \
+		if [ $$status -ne 0 ]; then rm -f chaos.log; exit $$status; fi
+	grep -Eq 'chaos: surrogate fallback answered [1-9][0-9]* queries' chaos.log
+	rm -f chaos.log
 
 check: build vet test race

@@ -25,13 +25,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/llm"
@@ -48,6 +52,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		apiKey    = flag.String("api-key", "", "require this Bearer token when non-empty")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		traceCap  = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "request spans retained by /debug/traces")
 		accessLog = flag.Bool("access-log", true, "log one JSON line per request to stderr")
 	)
@@ -119,5 +124,26 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
+	// in-flight requests finish within the drain deadline, and only then
+	// exit. The old log.Fatal(ListenAndServe()) hard-killed mid-request.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("llmserve: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("llmserve: %v received, draining for up to %v...\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("llmserve: shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("llmserve: %v", err)
+		}
+		fmt.Printf("llmserve: drained, %d requests served\n", h.Requests())
+	}
 }

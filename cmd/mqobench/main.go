@@ -29,6 +29,7 @@ func main() {
 		fast        = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
 		workers     = flag.Int("workers", 1, "concurrent LLM queries during plan execution (outputs are identical for any value)")
 		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
+		qTimeout    = flag.Duration("query-timeout", 0, "per-query deadline during plan execution (0 = none; the faults experiment defaults to 50ms)")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut     = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
@@ -76,7 +77,7 @@ func main() {
 	for _, e := range toRun {
 		for rep := 0; rep < *seeds; rep++ {
 			s := *seed + uint64(rep)
-			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps}
+			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps, QueryTimeout: *qTimeout}
 			start := time.Now()
 			out, err := e.Run(cfg)
 			if err != nil {

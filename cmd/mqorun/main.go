@@ -12,11 +12,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -55,6 +57,13 @@ func main() {
 		m           = flag.Int("m", 4, "max neighbors per prompt")
 		workers     = flag.Int("workers", 1, "concurrent LLM queries (results are identical for any value)")
 		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
+		qTimeout    = flag.Duration("query-timeout", 0, "per-query deadline; hung calls are abandoned (0 = none)")
+		breakerN    = flag.Int("breaker", 0, "consecutive transient failures that open the circuit breaker (0 = disabled)")
+		breakerCool = flag.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = 30s default)")
+		fallback    = flag.Bool("fallback", false, "answer permanently-failed queries with the surrogate classifier")
+		faultErr    = flag.Float64("fault-error", 0, "chaos: fraction of prompts that fail with an injected 503")
+		faultHang   = flag.Float64("fault-hang", 0, "chaos: fraction of prompts that hang until the query timeout")
+		faultGarble = flag.Float64("fault-garbage", 0, "chaos: fraction of prompts answered off-template")
 		savePlan    = flag.String("save-plan", "", "write the optimized plan to this JSON file")
 		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
@@ -136,14 +145,55 @@ func main() {
 		}
 	}
 	sim := llm.NewSim(profile, g.Vocab, g.Classes, *seed+7)
-	ecfg := core.ExecConfig{Workers: *workers, QPS: *qps}
+	var pred llm.Predictor = sim
+	var injector *llm.FaultInjector
+	if *faultErr > 0 || *faultHang > 0 || *faultGarble > 0 {
+		if *faultHang > 0 && *qTimeout <= 0 {
+			fail(fmt.Errorf("-fault-hang requires -query-timeout, or hung prompts block forever"))
+		}
+		injector, err = llm.NewFaultInjector(sim, llm.FaultConfig{
+			Seed:        *seed + 13,
+			ErrorRate:   *faultErr,
+			HangRate:    *faultHang,
+			GarbageRate: *faultGarble,
+		})
+		if err != nil {
+			fail(err)
+		}
+		pred = injector
+	}
+	ecfg := core.ExecConfig{
+		Workers:      *workers,
+		QPS:          *qps,
+		QueryTimeout: *qTimeout,
+		Breaker:      batch.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCool},
+	}
+	if *fallback {
+		sur, err := core.FitSurrogate(g, split.Labeled, core.SurrogateConfig{Seed: *seed})
+		if err != nil {
+			fail(fmt.Errorf("fitting fallback surrogate: %w", err))
+		}
+		ecfg.Fallback = sur
+	}
+
+	// Per-query failures come back as a *QueryErrors alongside partial
+	// results: report and keep going rather than voiding the whole run.
+	tolerate := func(stage string, err error) {
+		if err == nil {
+			return
+		}
+		var qe *core.QueryErrors
+		if errors.As(err, &qe) {
+			fmt.Fprintf(os.Stderr, "mqorun: %s: %v (continuing with partial results)\n", stage, qe)
+			return
+		}
+		fail(err)
+	}
 
 	// Baseline.
 	fmt.Printf("running baseline %s over %d queries (%d workers)...\n", method.Name(), len(split.Query), *workers)
-	base, err := core.ExecuteWith(newCtx(), method, sim, core.Plan{Queries: split.Query}, ecfg)
-	if err != nil {
-		fail(err)
-	}
+	base, err := core.ExecuteWith(newCtx(), method, pred, core.Plan{Queries: split.Query}, ecfg)
+	tolerate("baseline", err)
 
 	// Optimized plan.
 	plan := core.Plan{Queries: split.Query}
@@ -153,14 +203,19 @@ func main() {
 		iqCfg := core.DefaultInadequacyConfig()
 		iqCfg.Seed = *seed
 		iqCfg.Exec = ecfg
-		iq, err := core.FitInadequacy(g, split.Labeled, sim, "paper", iqCfg)
+		iq, err := core.FitInadequacy(g, split.Labeled, pred, "paper", iqCfg)
 		if err != nil {
 			fail(err)
 		}
 		tau = *prune
 		if tau < 0 {
 			perQ, perN := core.EstimateQueryTokens(newCtx(), method, split.Query, 200)
-			tau = core.TauForBudget(*budget, len(split.Query), perQ, perN)
+			var ok bool
+			tau, ok = core.TauForBudget(*budget, len(split.Query), perQ, perN)
+			if !ok {
+				fail(fmt.Errorf("budget %.0f tokens is infeasible for %d queries: even pruning every prompt needs %.0f tokens",
+					*budget, len(split.Query), float64(len(split.Query))*(perQ-perN)))
+			}
 			fmt.Printf("budget %.0f tokens -> tau = %.2f (perQuery %.0f, perNeighborText %.0f)\n", *budget, tau, perQ, perN)
 		}
 		plan = core.PrunePlan(iq, g, split.Query, tau)
@@ -183,18 +238,21 @@ func main() {
 	var optimized *core.Results
 	if *boost {
 		fmt.Println("executing with query boosting...")
-		optimized, _, err = core.BoostWith(newCtx(), method, sim, plan, core.DefaultBoostConfig(), ecfg)
+		optimized, _, err = core.BoostWith(newCtx(), method, pred, plan, core.DefaultBoostConfig(), ecfg)
 	} else {
 		fmt.Println("executing plan...")
-		optimized, err = core.ExecuteWith(newCtx(), method, sim, plan, ecfg)
+		optimized, err = core.ExecuteWith(newCtx(), method, pred, plan, ecfg)
 	}
-	if err != nil {
-		fail(err)
-	}
+	tolerate("optimized run", err)
 
-	t := tablefmt.New("\nresults", "run", "accuracy (%)", "input tokens", "equipped", "rounds")
+	// Accuracy is scored against the full plan (an unanswered query
+	// counts as wrong) with coverage alongside, so partial results after
+	// failures cannot silently inflate the numbers.
+	baseAcc, baseCov := core.PlanAccuracy(g, split.Query, base.Pred)
+	optAcc, optCov := core.PlanAccuracy(g, plan.Queries, optimized.Pred)
+	t := tablefmt.New("\nresults", "run", "accuracy (%)", "coverage (%)", "input tokens", "equipped", "rounds")
 	t.AddRow("baseline",
-		tablefmt.Pct(core.Accuracy(g, base.Pred)),
+		tablefmt.Pct(baseAcc), tablefmt.Pct(baseCov),
 		tablefmt.Int(int64(base.Meter.InputTokens())),
 		fmt.Sprint(base.Equipped), fmt.Sprint(base.Rounds))
 	name := "optimized"
@@ -208,10 +266,20 @@ func main() {
 		name += " (boost)"
 	}
 	t.AddRow(name,
-		tablefmt.Pct(core.Accuracy(g, optimized.Pred)),
+		tablefmt.Pct(optAcc), tablefmt.Pct(optCov),
 		tablefmt.Int(int64(optimized.Meter.InputTokens())),
 		fmt.Sprint(optimized.Equipped), fmt.Sprint(optimized.Rounds))
 	fmt.Print(t.String())
+
+	if n := base.SurrogateAnswered() + optimized.SurrogateAnswered(); n > 0 {
+		fmt.Printf("\nsurrogate-answered queries (LLM path failed): baseline %d, optimized %d\n",
+			base.SurrogateAnswered(), optimized.SurrogateAnswered())
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("injected faults: %d errors, %d hangs, %d garbage (%d passed)\n",
+			st.Errors, st.Hangs, st.Garbage, st.Passed)
+	}
 
 	saved := base.Meter.InputTokens() - optimized.Meter.InputTokens()
 	if saved != 0 {

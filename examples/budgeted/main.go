@@ -35,7 +35,11 @@ func main() {
 	fmt.Printf("%-8s %-6s %-22s %-22s\n", "budget", "τ", "inadequacy pruning", "random pruning")
 	for _, frac := range []float64{1.00, 0.90, 0.80, 0.70, 0.60} {
 		budget := frac * full
-		tau := mqo.TauForBudget(budget, len(w.Queries), perQuery, perNeighbor)
+		tau, ok := mqo.TauForBudget(budget, len(w.Queries), perQuery, perNeighbor)
+		if !ok {
+			fmt.Printf("%-8.0f infeasible even at full pruning; skipping\n", budget)
+			continue
+		}
 
 		ours, err := mqo.Optimize(w, method, mqo.NewSim(mqo.GPT35(), g, 7),
 			mqo.Options{Prune: true, Budget: budget})

@@ -36,6 +36,7 @@ const (
 	metricBatchInflight  = "mqo_batch_inflight"
 	metricBatchTokens    = "mqo_batch_tokens_total"
 	metricBatchAttempt   = "mqo_batch_attempt_duration_seconds"
+	metricBatchTimeouts  = "mqo_batch_timeouts_total"
 )
 
 // Request is one query to execute: an opaque caller ID plus the final
@@ -68,6 +69,18 @@ type Config struct {
 	// the cap is reached fail with ErrBudgetExhausted instead of
 	// spending money.
 	BudgetTokens int
+	// QueryTimeout, when > 0, bounds each predictor attempt. A call
+	// that outlives the deadline fails with ErrQueryTimeout (retryable)
+	// instead of stalling its worker: predictors implementing
+	// llm.ContextPredictor are canceled mid-flight, legacy predictors
+	// are abandoned to a watchdog (their goroutine finishes — or parks —
+	// in the background).
+	QueryTimeout time.Duration
+	// Breaker guards the predictor with a circuit breaker; the zero
+	// value (Threshold 0) disables it. While the circuit is open,
+	// requests fail fast with ErrCircuitOpen rather than queue behind a
+	// backend that is presumed down.
+	Breaker BreakerConfig
 	// Cache serves repeated prompts from memory instead of re-querying.
 	Cache bool
 	// Log, when non-nil, receives one JSON line per query outcome.
@@ -82,6 +95,11 @@ type Config struct {
 // ErrBudgetExhausted marks queries skipped because the token budget was
 // already spent.
 var ErrBudgetExhausted = errors.New("batch: token budget exhausted")
+
+// ErrQueryTimeout marks predictor attempts that outlived
+// Config.QueryTimeout. It is transient: retries (if configured) get a
+// fresh deadline, and it counts toward opening the circuit breaker.
+var ErrQueryTimeout = errors.New("batch: query timed out")
 
 // Outcome is the result of one request.
 type Outcome struct {
@@ -112,6 +130,7 @@ type Result struct {
 type Executor struct {
 	p   llm.Predictor
 	cfg Config
+	brk *breaker // nil when the breaker is disabled
 
 	mu     sync.Mutex
 	cache  map[string]llm.Response
@@ -136,7 +155,8 @@ func New(p llm.Predictor, cfg Config) (*Executor, error) {
 	if p == nil {
 		return nil, errors.New("batch: nil predictor")
 	}
-	if cfg.Workers < 0 || cfg.QPS < 0 || cfg.MaxRetries < -1 || cfg.BudgetTokens < 0 {
+	if cfg.Workers < 0 || cfg.QPS < 0 || cfg.MaxRetries < -1 || cfg.BudgetTokens < 0 ||
+		cfg.QueryTimeout < 0 || cfg.Breaker.Threshold < 0 {
 		return nil, fmt.Errorf("batch: negative config value: %+v", cfg)
 	}
 	if cfg.Workers == 0 {
@@ -154,7 +174,7 @@ func New(p llm.Predictor, cfg Config) (*Executor, error) {
 	if cfg.MaxRetryDelay <= 0 {
 		cfg.MaxRetryDelay = llm.DefaultMaxRetryDelay
 	}
-	e := &Executor{p: p, cfg: cfg}
+	e := &Executor{p: p, cfg: cfg, brk: newBreaker(cfg.Breaker, cfg.Obs)}
 	if cfg.Cache {
 		e.cache = make(map[string]llm.Response)
 		e.flight = make(map[string]*flightCall)
@@ -376,8 +396,11 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 			}
 			if fc.err != nil {
 				e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: fc.err.Error()})
-				if errors.Is(fc.err, ErrBudgetExhausted) {
+				switch {
+				case errors.Is(fc.err, ErrBudgetExhausted):
 					return done(Outcome{Err: fc.err}, "skipped")
+				case errors.Is(fc.err, ErrCircuitOpen):
+					return done(Outcome{Err: fc.err}, "rejected")
 				}
 				return done(Outcome{Err: fc.err}, "error")
 			}
@@ -419,11 +442,21 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted"
 			}
 		}
+		// Breaker guard: while the circuit is open the request fails
+		// fast, leaving graceful degradation (surrogate fallback) to the
+		// caller instead of queuing behind a backend presumed down.
+		if e.brk != nil {
+			if err := e.brk.allow(); err != nil {
+				e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt - 1, Error: err.Error()})
+				return Outcome{Err: err, Attempts: attempt - 1}, "rejected"
+			}
+		}
 		if tick != nil {
 			select {
 			case <-tick:
 				rec.Add(metricBatchThrottled, 1)
 			case <-ctx.Done():
+				e.cancelBreaker() // pacing abort says nothing about the backend
 				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
 				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted"
 			}
@@ -432,11 +465,12 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 		if live {
 			start = time.Now()
 		}
-		resp, err := e.p.Query(r.Prompt)
+		resp, err := e.query(ctx, r.Prompt)
 		if live {
 			rec.Observe(metricBatchAttempt, time.Since(start).Seconds())
 		}
 		if err == nil {
+			e.reportBreaker(true)
 			bud.charge(resp.InputTokens + resp.OutputTokens)
 			rec.Add(metricBatchTokens, float64(resp.InputTokens+resp.OutputTokens))
 			if e.cache != nil {
@@ -452,11 +486,26 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 			return Outcome{Response: resp, Attempts: attempt}, "ok"
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			// The batch was canceled mid-call; not the backend's fault.
+			e.cancelBreaker()
+			rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
+			return Outcome{Err: ctx.Err(), Attempts: attempt}, "aborted"
+		}
+		if errors.Is(err, ErrQueryTimeout) {
+			rec.Add(metricBatchTimeouts, 1)
+			e.reportBreaker(false)
+			continue
+		}
 		var apiErr *llm.APIError
 		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 && apiErr.StatusCode != 429 {
+			// Client error: the request's fault, not the backend's —
+			// neither retried nor counted toward the breaker.
+			e.cancelBreaker()
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt, Error: err.Error()})
 			return Outcome{Err: err, Attempts: attempt}, "error"
 		}
+		e.reportBreaker(false)
 	}
 	e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: e.cfg.MaxRetries + 1, Error: lastErr.Error()})
 	return Outcome{
@@ -465,9 +514,82 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 	}, "error"
 }
 
+// reportBreaker feeds a call outcome to the breaker when one exists.
+func (e *Executor) reportBreaker(success bool) {
+	if e.brk != nil {
+		e.brk.report(success)
+	}
+}
+
+// cancelBreaker releases an admitted request without a health verdict.
+func (e *Executor) cancelBreaker() {
+	if e.brk != nil {
+		e.brk.cancel()
+	}
+}
+
+// BreakerState reports the circuit breaker's current position;
+// BreakerClosed when no breaker is configured.
+func (e *Executor) BreakerState() BreakerState {
+	if e.brk == nil {
+		return BreakerClosed
+	}
+	return e.brk.State()
+}
+
+// query runs one predictor attempt under the per-query deadline.
+// Context-aware predictors are canceled mid-flight; legacy predictors
+// run under a watchdog that abandons the call at the deadline (a truly
+// hung call parks its goroutine — the price of the context-free
+// Predictor contract, and why ContextPredictor is preferred).
+func (e *Executor) query(ctx context.Context, promptText string) (llm.Response, error) {
+	cp, hasCtx := e.p.(llm.ContextPredictor)
+	if e.cfg.QueryTimeout <= 0 {
+		if hasCtx {
+			return cp.QueryContext(ctx, promptText)
+		}
+		return e.p.Query(promptText)
+	}
+	qctx, cancel := context.WithTimeout(ctx, e.cfg.QueryTimeout)
+	defer cancel()
+	if hasCtx {
+		resp, err := cp.QueryContext(qctx, promptText)
+		if err != nil && qctx.Err() != nil && ctx.Err() == nil {
+			return llm.Response{}, fmt.Errorf("%w after %v: %v", ErrQueryTimeout, e.cfg.QueryTimeout, err)
+		}
+		return resp, err
+	}
+	type qresult struct {
+		resp llm.Response
+		err  error
+	}
+	ch := make(chan qresult, 1)
+	go func() {
+		resp, err := e.p.Query(promptText)
+		ch <- qresult{resp, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-qctx.Done():
+		if ctx.Err() != nil {
+			return llm.Response{}, ctx.Err()
+		}
+		return llm.Response{}, fmt.Errorf("%w after %v", ErrQueryTimeout, e.cfg.QueryTimeout)
+	}
+}
+
 // Serialize wraps a predictor with a mutex so single-threaded
 // implementations (like *llm.Sim) can serve a concurrent Executor.
-func Serialize(p llm.Predictor) llm.Predictor { return &serialized{p: p} }
+// When the inner predictor is context-aware, the wrapper is too, so
+// per-query deadlines keep their cancellation path through the lock.
+func Serialize(p llm.Predictor) llm.Predictor {
+	s := &serialized{p: p}
+	if cp, ok := p.(llm.ContextPredictor); ok {
+		return &serializedCtx{serialized: s, cp: cp}
+	}
+	return s
+}
 
 type serialized struct {
 	mu sync.Mutex
@@ -482,4 +604,19 @@ func (s *serialized) Query(prompt string) (llm.Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.p.Query(prompt)
+}
+
+// serializedCtx adds the context-aware path for inner predictors that
+// support it. The lock is still held across the call: cancellation
+// unblocks the inner predictor, which releases the lock.
+type serializedCtx struct {
+	*serialized
+	cp llm.ContextPredictor
+}
+
+// QueryContext implements llm.ContextPredictor under the lock.
+func (s *serializedCtx) QueryContext(ctx context.Context, prompt string) (llm.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.QueryContext(ctx, prompt)
 }

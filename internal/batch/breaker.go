@@ -1,0 +1,188 @@
+package batch
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names emitted by the circuit breaker; the full catalog lives
+// in README.md ("Observability").
+const (
+	metricBreakerState       = "mqo_breaker_state"
+	metricBreakerTransitions = "mqo_breaker_transitions_total"
+	metricBreakerRejections  = "mqo_breaker_rejections_total"
+)
+
+// ErrCircuitOpen marks requests rejected because the circuit breaker
+// was open: the backend is presumed down, so the executor fails fast
+// instead of queuing more doomed calls behind it.
+var ErrCircuitOpen = errors.New("batch: circuit breaker open")
+
+// BreakerConfig configures the circuit breaker guarding the predictor.
+// The zero value disables the breaker entirely.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transient failures
+	// (timeouts, 5xx/429, transport errors) that opens the circuit;
+	// 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long the circuit stays open before a probe
+	// request is let through (default 30s).
+	Cooldown time.Duration
+	// HalfOpenProbes is the number of consecutive probe successes
+	// required to close an open circuit again (default 1).
+	HalfOpenProbes int
+}
+
+// BreakerState is the circuit's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every request through (healthy backend).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits probe requests one at a time; their
+	// outcomes decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is the classic three-state circuit breaker. All transitions
+// happen under the mutex; the clock is injectable for tests.
+type breaker struct {
+	cfg BreakerConfig
+	rec obs.Recorder
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive transient failures while closed
+	successes int // consecutive probe successes while half-open
+	probing   bool
+	openedAt  time.Time
+}
+
+// newBreaker returns nil when the config disables the breaker.
+func newBreaker(cfg BreakerConfig, rec obs.Recorder) *breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	return &breaker{cfg: cfg, rec: obs.Active(rec), now: time.Now}
+}
+
+// transition moves the breaker to a new state and emits the metrics.
+// Caller holds the mutex.
+func (b *breaker) transition(to BreakerState) {
+	b.state = to
+	b.rec.Set(metricBreakerState, float64(to))
+	b.rec.Add(metricBreakerTransitions, 1, "to", to.String())
+}
+
+// State reports the current position (resolving an elapsed cooldown
+// lazily, as allow would).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// allow decides whether a request may reach the predictor. It returns
+// ErrCircuitOpen for requests rejected while the circuit is open (or
+// while a half-open probe is already in flight).
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rec.Add(metricBreakerRejections, 1)
+			return ErrCircuitOpen
+		}
+		// Cooldown over: admit this request as the first probe.
+		b.transition(BreakerHalfOpen)
+		b.successes = 0
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			b.rec.Add(metricBreakerRejections, 1)
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// cancel releases an admitted request without judging the backend:
+// the call never completed for a reason unrelated to backend health
+// (batch canceled, client-side 4xx). A half-open probe slot is freed
+// so the next request can probe instead.
+func (b *breaker) cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// report feeds one predictor-call outcome back into the state machine.
+// Only transient failures count toward opening: a 4xx client error is
+// the request's fault, not the backend's, and must not trip the
+// circuit (callers skip report for those).
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.transition(BreakerOpen)
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if !success {
+			b.transition(BreakerOpen)
+			b.openedAt = b.now()
+			b.successes = 0
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.transition(BreakerClosed)
+			b.failures = 0
+		}
+	default:
+		// A straggler reporting after the circuit re-opened; consecutive
+		// bookkeeping restarts at the next transition.
+	}
+}

@@ -166,6 +166,18 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 			o := batchOut[q.v]
 			if o.Err != nil {
 				rec.Add(metricQueryErrors, 1, "mode", "boost")
+				if ecfg.Fallback != nil {
+					// Degrade instead of dropping: the surrogate's answer
+					// stands in for the LLM's, and — like any answer — it
+					// becomes a pseudo-label for later rounds, so one dead
+					// query does not starve its neighbors of label signal.
+					c := ecfg.Fallback.PredictNode(ctx.Graph, q.v)
+					res.Pred[q.v] = c
+					res.markFallback(q.v)
+					rec.Add(metricFallback, 1, "mode", "boost")
+					outcomes = append(outcomes, outcome{v: q.v, category: c})
+					continue
+				}
 				qerrs.add(q.v, fmt.Errorf("core: boosting query for node %d: %w", q.v, o.Err))
 				continue
 			}

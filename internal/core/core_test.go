@@ -74,19 +74,24 @@ func TestAccuracyHelper(t *testing.T) {
 
 func TestTauForBudget(t *testing.T) {
 	// 100 queries, 1000 tokens each of which 600 are neighbor text.
-	if got := TauForBudget(100_000, 100, 1000, 600); got != 0 {
-		t.Fatalf("full budget tau = %v, want 0", got)
+	if got, ok := TauForBudget(100_000, 100, 1000, 600); got != 0 || !ok {
+		t.Fatalf("full budget tau = %v ok = %v, want 0 true", got, ok)
 	}
-	if got := TauForBudget(40_000, 100, 1000, 600); got != 1 {
-		t.Fatalf("starvation tau = %v, want 1", got)
+	// All-pruned cost is 40,000: exactly attainable at τ=1.
+	if got, ok := TauForBudget(40_000, 100, 1000, 600); got != 1 || !ok {
+		t.Fatalf("starvation tau = %v ok = %v, want 1 true", got, ok)
+	}
+	// Below the all-pruned cost: τ=1 still, but flagged infeasible.
+	if got, ok := TauForBudget(39_999, 100, 1000, 600); got != 1 || ok {
+		t.Fatalf("infeasible tau = %v ok = %v, want 1 false", got, ok)
 	}
 	// Budget exactly halfway: B = 100*1000 - tau*100*600 => tau = 0.5
 	// at B = 70,000.
-	if got := TauForBudget(70_000, 100, 1000, 600); math.Abs(got-0.5) > 1e-9 {
+	if got, _ := TauForBudget(70_000, 100, 1000, 600); math.Abs(got-0.5) > 1e-9 {
 		t.Fatalf("midpoint tau = %v, want 0.5", got)
 	}
-	if got := TauForBudget(1000, 0, 1000, 600); got != 0 {
-		t.Fatalf("zero queries tau = %v", got)
+	if got, ok := TauForBudget(1000, 0, 1000, 600); got != 0 || !ok {
+		t.Fatalf("zero queries tau = %v ok = %v", got, ok)
 	}
 }
 
@@ -100,9 +105,9 @@ func TestTauBudgetConsistency(t *testing.T) {
 		t.Fatalf("token estimates implausible: perQ=%v perN=%v", perQ, perN)
 	}
 	budget := 0.8 * perQ * float64(len(f.split.Query))
-	tau := TauForBudget(budget, len(f.split.Query), perQ, perN)
-	if tau <= 0 || tau >= 1 {
-		t.Fatalf("tau = %v for a 20%% cut", tau)
+	tau, ok := TauForBudget(budget, len(f.split.Query), perQ, perN)
+	if tau <= 0 || tau >= 1 || !ok {
+		t.Fatalf("tau = %v ok = %v for a 20%% cut", tau, ok)
 	}
 	plan := RandomPrunePlan(f.split.Query, tau, 9)
 	res, err := Execute(f.ctx, m, f.sim, plan)

@@ -41,6 +41,7 @@ const (
 	metricBoostRounds  = "mqo_boost_rounds_total"
 	metricBoostRound   = "mqo_boost_round"
 	metricBoostPending = "mqo_boost_pending_queries"
+	metricFallback     = "mqo_fallback_predictions_total"
 )
 
 // recordQuery emits the per-query metrics shared by Execute and Boost.
@@ -67,6 +68,8 @@ type Plan struct {
 // Results collects the outcome of executing a plan.
 type Results struct {
 	// Pred maps each executed query to the predicted category name.
+	// Queries answered by the fallback surrogate appear here too; the
+	// Fallback set distinguishes them.
 	Pred map[tag.NodeID]string
 	// Meter totals the token usage of the executed queries.
 	Meter token.Meter
@@ -78,9 +81,31 @@ type Results struct {
 	// PseudoLabelUses counts selected neighbors whose label was a
 	// pseudo-label from an earlier query (boosting only).
 	PseudoLabelUses int
+	// Fallback marks queries answered by the surrogate classifier
+	// because the LLM path failed permanently (timeout, open circuit
+	// breaker, exhausted budget or retries). Nil when no query fell
+	// back.
+	Fallback map[tag.NodeID]bool
 }
 
-// Accuracy returns the fraction of predictions matching ground truth.
+// markFallback records one surrogate-answered query.
+func (r *Results) markFallback(v tag.NodeID) {
+	if r.Fallback == nil {
+		r.Fallback = make(map[tag.NodeID]bool)
+	}
+	r.Fallback[v] = true
+}
+
+// LLMAnswered counts queries answered by the LLM itself.
+func (r *Results) LLMAnswered() int { return len(r.Pred) - len(r.Fallback) }
+
+// SurrogateAnswered counts queries answered by the fallback surrogate.
+func (r *Results) SurrogateAnswered() int { return len(r.Fallback) }
+
+// Accuracy returns the fraction of predictions matching ground truth
+// — over the *answered* queries only. After a degraded run this
+// overstates quality; pair it with PlanAccuracy, which also reports
+// coverage.
 func Accuracy(g *tag.Graph, pred map[tag.NodeID]string) float64 {
 	if len(pred) == 0 {
 		return 0
@@ -92,6 +117,30 @@ func Accuracy(g *tag.Graph, pred map[tag.NodeID]string) float64 {
 		}
 	}
 	return float64(correct) / float64(len(pred))
+}
+
+// PlanAccuracy scores predictions against the *full* plan: accuracy
+// counts an unanswered query as wrong, and coverage reports the
+// answered fraction. This is the honest pair of numbers after a
+// degraded run — Accuracy over the survivors alone silently inflates
+// when failed queries drop out of pred.
+func PlanAccuracy(g *tag.Graph, queries []tag.NodeID, pred map[tag.NodeID]string) (acc, coverage float64) {
+	if len(queries) == 0 {
+		return 0, 0
+	}
+	correct, answered := 0, 0
+	for _, v := range queries {
+		c, ok := pred[v]
+		if !ok {
+			continue
+		}
+		answered++
+		if c == g.Classes[g.Nodes[v].Label] {
+			correct++
+		}
+	}
+	n := float64(len(queries))
+	return float64(correct) / n, float64(answered) / n
 }
 
 // ExecuteQuery runs one node query: neighbor selection (skipped when
@@ -152,6 +201,19 @@ type ExecConfig struct {
 	// Cache serves repeated prompts from memory and single-flights
 	// concurrent duplicates.
 	Cache bool
+	// QueryTimeout bounds each predictor call (per attempt); 0 means no
+	// deadline. A hung call is abandoned with batch.ErrQueryTimeout, so
+	// one stuck prompt cannot stall the whole plan.
+	QueryTimeout time.Duration
+	// Breaker configures a circuit breaker in front of the predictor;
+	// the zero value disables it. Like BudgetTokens, a tripped breaker
+	// makes results depend on completion order under concurrency.
+	Breaker batch.BreakerConfig
+	// Fallback, when non-nil, answers queries whose LLM path failed
+	// permanently with the surrogate classifier instead of reporting
+	// them in QueryErrors. Fallback answers are marked in
+	// Results.Fallback.
+	Fallback *Surrogate
 }
 
 // batchConfig translates an ExecConfig into the executor's config.
@@ -172,6 +234,8 @@ func (cfg ExecConfig) batchConfig(rec obs.Recorder) batch.Config {
 		MaxRetryDelay: cfg.MaxRetryDelay,
 		BudgetTokens:  cfg.BudgetTokens,
 		Cache:         cfg.Cache,
+		QueryTimeout:  cfg.QueryTimeout,
+		Breaker:       cfg.Breaker,
 		Obs:           rec,
 	}
 }
@@ -232,6 +296,25 @@ func (t *timedPredictor) Query(promptText string) (llm.Response, error) {
 	return resp, err
 }
 
+// timedCtxPredictor additionally forwards QueryContext, so wrapping a
+// cancelable predictor does not demote it to the executor's watchdog
+// path. instrument picks between the two.
+type timedCtxPredictor struct {
+	*timedPredictor
+	cp llm.ContextPredictor
+}
+
+// QueryContext implements llm.ContextPredictor with the same
+// instrumentation as Query.
+func (t *timedCtxPredictor) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
+	span := t.rec.StartSpan("core.query", "mode", t.mode, "node", t.node[promptText])
+	start := time.Now()
+	resp, err := t.cp.QueryContext(ctx, promptText)
+	t.rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", t.mode)
+	span.End()
+	return resp, err
+}
+
 // plannedQuery is one query with its prompt fixed ahead of dispatch.
 type plannedQuery struct {
 	v        tag.NodeID
@@ -268,7 +351,11 @@ func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode str
 	qp := p
 	if obs.Enabled(rec) {
 		tp = &timedPredictor{inner: p, rec: rec, mode: mode, node: map[string]string{}}
-		qp = tp
+		if cp, ok := p.(llm.ContextPredictor); ok {
+			qp = &timedCtxPredictor{timedPredictor: tp, cp: cp}
+		} else {
+			qp = tp
+		}
 	}
 	ex, err := batch.New(qp, cfg.batchConfig(rec))
 	return ex, tp, err
@@ -325,6 +412,12 @@ func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, 
 		o := outcomes[q.v]
 		if o.Err != nil {
 			rec.Add(metricQueryErrors, 1, "mode", "plain")
+			if cfg.Fallback != nil {
+				res.Pred[q.v] = cfg.Fallback.PredictNode(ctx.Graph, q.v)
+				res.markFallback(q.v)
+				rec.Add(metricFallback, 1, "mode", "plain")
+				continue
+			}
 			qerrs.add(q.v, fmt.Errorf("core: query for node %d: %w", q.v, o.Err))
 			continue
 		}
@@ -344,22 +437,30 @@ func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, 
 // TauForBudget computes the pruning fraction τ ∈ [0, 1] implied by a
 // token budget B (Section V-C1): B = τ·|V_Q|·(T_v − T_N) + (1−τ)·|V_Q|·T_v,
 // where T_v is the mean tokens of a full query and T_N the mean tokens
-// of its neighbor text. The result is clamped to [0, 1]: budgets above
-// full cost need no pruning, budgets below the all-pruned cost cannot
-// be met and yield τ = 1.
-func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor float64) float64 {
-	if numQueries <= 0 || tokensNeighbor <= 0 {
-		return 0
+// of its neighbor text. The result is clamped to [0, 1].
+//
+// ok reports whether the budget is actually attainable at the returned
+// τ: budgets below the all-pruned cost n·(T_v − T_N) still return τ = 1
+// but ok = false, and a non-positive T_N (pruning saves nothing) yields
+// ok only when the budget covers n·T_v outright. Earlier versions
+// silently returned τ = 0 in that second case, reporting an infeasible
+// budget as "no pruning needed".
+func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor float64) (tau float64, ok bool) {
+	if numQueries <= 0 {
+		return 0, true
 	}
 	n := float64(numQueries)
-	tau := (n*tokensPerQuery - budget) / (n * tokensNeighbor)
+	if tokensNeighbor <= 0 {
+		return 0, budget >= n*tokensPerQuery
+	}
+	tau = (n*tokensPerQuery - budget) / (n * tokensNeighbor)
 	if tau < 0 {
-		return 0
+		return 0, true
 	}
 	if tau > 1 {
-		return 1
+		return 1, false
 	}
-	return tau
+	return tau, true
 }
 
 // EstimateQueryTokens estimates the mean total prompt tokens and mean

@@ -136,20 +136,36 @@ func FitInadequacy(g *tag.Graph, labeled []tag.NodeID, p llm.Predictor, nodeType
 	if err != nil {
 		return nil, fmt.Errorf("core: bias calibration: %w", err)
 	}
+	// Failed calibration queries are dropped rather than voiding the
+	// whole fit: the bias ratios and the channel regression are sample
+	// estimates either way, and a permanently-failing backend prompt
+	// must not take the measure down with it. Only an all-failed
+	// calibration is fatal.
 	wrong := make([]float64, k)
 	count := make([]float64, k)
-	errIndicator := make([]float64, len(calib))
+	okCalib := make([]tag.NodeID, 0, len(calib))
+	errIndicator := make([]float64, 0, len(calib))
+	var firstErr error
 	for i, v := range calib {
 		o := bres.Outcomes[reqs[i].ID]
 		if o.Err != nil {
-			return nil, fmt.Errorf("core: bias calibration: %w", o.Err)
+			if firstErr == nil {
+				firstErr = o.Err
+			}
+			continue
 		}
 		y := g.Nodes[v].Label
 		count[y]++
+		indicator := 0.0
 		if o.Response.Category != g.Classes[y] {
 			wrong[y]++
-			errIndicator[i] = 1
+			indicator = 1
 		}
+		okCalib = append(okCalib, v)
+		errIndicator = append(errIndicator, indicator)
+	}
+	if len(okCalib) == 0 {
+		return nil, fmt.Errorf("core: bias calibration: all %d queries failed; first: %w", len(calib), firstErr)
 	}
 	w := make([]float64, k)
 	for c := range w {
@@ -160,9 +176,10 @@ func FitInadequacy(g *tag.Graph, labeled []tag.NodeID, p llm.Predictor, nodeType
 
 	iq := &Inadequacy{enc: enc, ensemble: ensemble, w: w, CalibrationQueries: len(calib)}
 
-	// Step 3: fit the channel-merging regression on V_L^c.
-	feats := make([][]float64, len(calib))
-	for i, v := range calib {
+	// Step 3: fit the channel-merging regression on the calibration
+	// nodes that actually got an answer.
+	feats := make([][]float64, len(okCalib))
+	for i, v := range okCalib {
 		h, b := iq.channels(corpus[v])
 		feats[i] = []float64{h, b}
 	}

@@ -26,18 +26,25 @@ func TestTauForBudgetProperties(t *testing.T) {
 		perQuery := perNeighbor + 100 // full query always costs more
 		budget := float64(rawBudget)
 
-		tau := TauForBudget(budget, n, perQuery, perNeighbor)
+		tau, ok := TauForBudget(budget, n, perQuery, perNeighbor)
 		if tau < 0 || tau > 1 || math.IsNaN(tau) {
 			return false
 		}
+		// ok iff the budget covers the cost at the returned τ.
+		cost := tau*float64(n)*(perQuery-perNeighbor) + (1-tau)*float64(n)*perQuery
+		if ok != (budget >= cost-1e-6*budget-1e-6) {
+			return false
+		}
 		// Monotonic: more budget never prunes more.
-		if TauForBudget(budget+500, n, perQuery, perNeighbor) > tau {
+		if tau2, _ := TauForBudget(budget+500, n, perQuery, perNeighbor); tau2 > tau {
 			return false
 		}
 		// Inside the feasible band the equation holds exactly.
 		if tau > 0 && tau < 1 {
-			cost := tau*float64(n)*(perQuery-perNeighbor) + (1-tau)*float64(n)*perQuery
 			if math.Abs(cost-budget) > 1e-6*budget+1e-6 {
+				return false
+			}
+			if !ok {
 				return false
 			}
 		}
@@ -50,19 +57,28 @@ func TestTauForBudgetProperties(t *testing.T) {
 
 func TestTauForBudgetEndpoints(t *testing.T) {
 	// Budget >= full cost: nothing pruned.
-	if tau := TauForBudget(1e12, 100, 500, 100); tau != 0 {
-		t.Errorf("huge budget: τ=%v, want 0", tau)
+	if tau, ok := TauForBudget(1e12, 100, 500, 100); tau != 0 || !ok {
+		t.Errorf("huge budget: τ=%v ok=%v, want 0 true", tau, ok)
 	}
-	// Budget of zero: everything pruned (and still maybe infeasible).
-	if tau := TauForBudget(0, 100, 500, 100); tau != 1 {
-		t.Errorf("zero budget: τ=%v, want 1", tau)
+	// Budget of zero: everything pruned, and explicitly infeasible.
+	if tau, ok := TauForBudget(0, 100, 500, 100); tau != 1 || ok {
+		t.Errorf("zero budget: τ=%v ok=%v, want 1 false", tau, ok)
+	}
+	// Budget exactly the all-pruned cost: τ=1 and feasible.
+	if tau, ok := TauForBudget(40_000, 100, 500, 100); tau != 1 || !ok {
+		t.Errorf("all-pruned budget: τ=%v ok=%v, want 1 true", tau, ok)
 	}
 	// Degenerate inputs never panic and return 0.
-	if tau := TauForBudget(100, 0, 500, 100); tau != 0 {
-		t.Errorf("no queries: τ=%v, want 0", tau)
+	if tau, ok := TauForBudget(100, 0, 500, 100); tau != 0 || !ok {
+		t.Errorf("no queries: τ=%v ok=%v, want 0 true", tau, ok)
 	}
-	if tau := TauForBudget(100, 10, 500, 0); tau != 0 {
-		t.Errorf("no neighbor tokens: τ=%v, want 0", tau)
+	// Zero neighbor tokens: pruning saves nothing, so feasibility is
+	// decided by the budget outright (this used to return τ=0 silently).
+	if tau, ok := TauForBudget(100, 10, 500, 0); tau != 0 || ok {
+		t.Errorf("no neighbor tokens, tiny budget: τ=%v ok=%v, want 0 false", tau, ok)
+	}
+	if tau, ok := TauForBudget(5_000, 10, 500, 0); tau != 0 || !ok {
+		t.Errorf("no neighbor tokens, full budget: τ=%v ok=%v, want 0 true", tau, ok)
 	}
 }
 

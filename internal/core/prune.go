@@ -112,7 +112,11 @@ func (tp TokenPruning) Run(ctx *predictors.Context, m predictors.Method, p llm.P
 	tau := tp.PruneFraction
 	if tau < 0 || tau > 1 {
 		perQuery, perNeighbor := EstimateQueryTokens(ctx, m, queries, tp.TokenSample)
-		tau = TauForBudget(tp.Budget, len(queries), perQuery, perNeighbor)
+		var ok bool
+		tau, ok = TauForBudget(tp.Budget, len(queries), perQuery, perNeighbor)
+		if !ok {
+			return nil, Plan{}, fmt.Errorf("core: budget %.0f tokens infeasible for %d queries even at full pruning (τ=%.2f)", tp.Budget, len(queries), tau)
+		}
 	}
 	plan := PrunePlan(iq, ctx.Graph, queries, tau)
 	res, err := Execute(ctx, m, p, plan)

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/llm"
 	"repro/internal/predictors"
@@ -30,12 +31,15 @@ type Config struct {
 	Workers int
 	// QPS rate-limits query dispatch; 0 disables rate limiting.
 	QPS float64
+	// QueryTimeout bounds each LLM call; hung calls are abandoned. 0
+	// means no deadline (the faults experiment applies its own default).
+	QueryTimeout time.Duration
 }
 
 // exec lowers the config's concurrency knobs for core.ExecuteWith and
 // core.BoostWith.
 func (cfg Config) exec() core.ExecConfig {
-	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS}
+	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS, QueryTimeout: cfg.QueryTimeout}
 }
 
 // Experiment is one regenerable paper artifact.
@@ -69,6 +73,7 @@ func All() []Experiment {
 		{ID: "cost-projection", Title: "Section I: full-graph classification priced in dollars", Run: runCostProjection},
 		{ID: "prefix-sharing", Title: "Section II-C: serving-level prefix sharing vs graph-aware pruning", Run: runPrefixSharing},
 		{ID: "concurrency", Title: "Concurrent plan execution: wall-clock speedup at identical results", Run: runConcurrency},
+		{ID: "faults", Title: "Fault tolerance: injected failures, timeouts, breaker, surrogate fallback", Run: runFaults},
 	}
 }
 

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table7", "table8", "table9", "table10",
 		"gnn-baseline", "ablation-channels", "ablation-scheduling",
 		"ablation-gamma", "ablation-m", "ablation-encoder",
-		"cost-projection", "prefix-sharing", "concurrency",
+		"cost-projection", "prefix-sharing", "concurrency", "faults",
 	}
 	all := All()
 	if len(all) != len(want) {

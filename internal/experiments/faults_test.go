@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepRuns(t *testing.T) {
+	// A reduced sweep: one clean row, one chaotic row, determinism
+	// checked across 1 and 4 workers (RunFaultSweep fails internally if
+	// the chaos run diverges between worker counts).
+	out, err := RunFaultSweep(fastCfg(), []float64{0, 0.4}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "surrogate") || !strings.Contains(out, "dead backend") {
+		t.Fatalf("unexpected sweep output:\n%s", out)
+	}
+	if !strings.Contains(out, "chaos: surrogate fallback answered") {
+		t.Fatalf("missing chaos summary line:\n%s", out)
+	}
+	// The clean row must keep full LLM coverage; the chaotic row must
+	// actually exercise the fallback.
+	if strings.Contains(out, "answered 0 queries") {
+		t.Fatalf("fallback never used at 40%% failures:\n%s", out)
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	a, err := RunFaultSweep(fastCfg(), []float64{0.3}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultSweep(fastCfg(), []float64{0.3}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fault sweep not reproducible:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tag"
+)
+
+// faultKinds classifies every prompt's fate under one injector config
+// without executing queries.
+func faultKinds(inj *FaultInjector, prompts []string) []faultKind {
+	out := make([]faultKind, len(prompts))
+	for i, p := range prompts {
+		out[i], _ = inj.fault(p)
+	}
+	return out
+}
+
+func testPrompts(t testing.TB, g *tag.Graph, n int) []string {
+	t.Helper()
+	if g.NumNodes() < n {
+		t.Fatalf("graph too small: %d nodes", g.NumNodes())
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = buildVanilla(g, tag.NodeID(i))
+	}
+	return out
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	g, _ := testGraph(t, 300)
+	sim := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	prompts := testPrompts(t, g, 200)
+	cfg := FaultConfig{Seed: 11, ErrorRate: 0.2, HangRate: 0.1, GarbageRate: 0.1}
+
+	a, err := NewFaultInjector(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFaultInjector(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := faultKinds(a, prompts), faultKinds(b, prompts)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("prompt %d: same seed decided %v vs %v", i, ka[i], kb[i])
+		}
+	}
+	// Repeating a prompt repeats its fate: retries are futile by design.
+	for i := 0; i < 10; i++ {
+		if k, _ := a.fault(prompts[0]); k != ka[0] {
+			t.Fatalf("attempt %d changed prompt 0's fate: %v vs %v", i, k, ka[0])
+		}
+	}
+	// A different seed reshuffles fates.
+	cfg.Seed = 12
+	c, err := NewFaultInjector(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i, k := range faultKinds(c, prompts) {
+		if k == ka[i] {
+			same++
+		}
+	}
+	if same == len(prompts) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultInjectorRates(t *testing.T) {
+	g, _ := testGraph(t, 600)
+	sim := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	prompts := testPrompts(t, g, 500)
+	inj, err := NewFaultInjector(sim, FaultConfig{Seed: 3, ErrorRate: 0.3, HangRate: 0.1, GarbageRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[faultKind]int{}
+	for _, k := range faultKinds(inj, prompts) {
+		counts[k]++
+	}
+	n := float64(len(prompts))
+	for kind, want := range map[faultKind]float64{
+		faultError:   0.3,
+		faultHang:    0.1,
+		faultGarbage: 0.2,
+		faultNone:    0.4,
+	} {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.07 {
+			t.Errorf("kind %v: observed rate %.3f, want ~%.2f", kind, got, want)
+		}
+	}
+}
+
+func TestFaultInjectorOutcomes(t *testing.T) {
+	g, _ := testGraph(t, 300)
+	sim := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	prompts := testPrompts(t, g, 150)
+	inj, err := NewFaultInjector(sim, FaultConfig{Seed: 5, ErrorRate: 0.25, GarbageRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, c := range g.Classes {
+		valid[c] = true
+	}
+	var sawErr, sawGarbage, sawPass bool
+	for _, p := range prompts {
+		kind, _ := inj.fault(p)
+		resp, err := inj.Query(p)
+		switch kind {
+		case faultError:
+			sawErr = true
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+				t.Fatalf("injected error surfaced as %v, want 503 APIError", err)
+			}
+		case faultGarbage:
+			sawGarbage = true
+			if err != nil {
+				t.Fatalf("garbage fault returned error %v", err)
+			}
+			if valid[resp.Category] {
+				t.Fatalf("garbage response %q matches a real class", resp.Category)
+			}
+		case faultNone:
+			sawPass = true
+			if err != nil {
+				t.Fatalf("clean prompt failed: %v", err)
+			}
+			if !valid[resp.Category] {
+				t.Fatalf("clean response %q is not a class", resp.Category)
+			}
+		}
+	}
+	if !sawErr || !sawGarbage || !sawPass {
+		t.Fatalf("fault mix not exercised: err=%v garbage=%v pass=%v", sawErr, sawGarbage, sawPass)
+	}
+	st := inj.Stats()
+	if st.Errors == 0 || st.Garbage == 0 || st.Passed == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+}
+
+func TestFaultInjectorHangRespectsContext(t *testing.T) {
+	g, _ := testGraph(t, 300)
+	sim := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	inj, err := NewFaultInjector(sim, FaultConfig{Seed: 1, HangRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := inj.QueryContext(ctx, buildVanilla(g, 0))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("hang unblocked with %v, want deadline exceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("injected hang ignored context cancellation")
+	}
+	if inj.Stats().Hangs != 1 {
+		t.Fatalf("hangs = %d, want 1", inj.Stats().Hangs)
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	g, _ := testGraph(t, 300)
+	sim := NewSim(GPT35(), g.Vocab, g.Classes, 7)
+	for _, cfg := range []FaultConfig{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.2},
+		{ErrorRate: 0.5, HangRate: 0.4, GarbageRate: 0.2}, // sums to 1.1
+		{MaxLatency: -time.Second},
+	} {
+		if _, err := NewFaultInjector(sim, cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	if _, err := NewFaultInjector(nil, FaultConfig{}); err == nil {
+		t.Error("nil predictor accepted")
+	}
+}

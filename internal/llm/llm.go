@@ -26,6 +26,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -50,6 +51,16 @@ type Response struct {
 type Predictor interface {
 	Name() string
 	Query(promptText string) (Response, error)
+}
+
+// ContextPredictor is implemented by predictors whose queries can be
+// canceled mid-flight. The batch executor prefers this path when
+// enforcing per-query deadlines: a hung call is abandoned the moment
+// its context expires instead of being parked behind a watchdog.
+// HTTPPredictor implements it.
+type ContextPredictor interface {
+	Predictor
+	QueryContext(ctx context.Context, promptText string) (Response, error)
 }
 
 // Profile parameterizes a simulated model's skill and failure modes.

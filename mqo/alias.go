@@ -188,9 +188,32 @@ func Accuracy(g *Graph, pred map[NodeID]string) float64 { return core.Accuracy(g
 
 // TauForBudget solves the running-example equation of Section V-C for
 // τ: the fraction of queries that must omit neighbor text so that the
-// batch fits the token budget. The result is clamped to [0, 1].
-func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor float64) float64 {
+// batch fits the token budget. The result is clamped to [0, 1]; ok is
+// false when the budget cannot be met even with every prompt pruned.
+func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor float64) (tau float64, ok bool) {
 	return core.TauForBudget(budget, numQueries, tokensPerQuery, tokensNeighbor)
+}
+
+// PlanAccuracy scores predictions against the full plan: accuracy
+// counts an unanswered query as wrong, and coverage reports the
+// answered fraction — the honest pair of numbers after a degraded run.
+func PlanAccuracy(g *Graph, queries []NodeID, pred map[NodeID]string) (acc, coverage float64) {
+	return core.PlanAccuracy(g, queries, pred)
+}
+
+// Surrogate is the paper's text-only classifier f_θ1, reused here as
+// the graceful-degradation answer machine (Options.Fallback).
+type Surrogate = core.Surrogate
+
+// SurrogateConfig tunes FitSurrogate; the zero value uses the paper's
+// defaults (linear softmax, 3 folds, 512 TF-IDF features).
+type SurrogateConfig = core.SurrogateConfig
+
+// FitSurrogate trains the surrogate classifier on the labeled set with
+// zero LLM queries. Pipelines that prune can reuse the one trained by
+// FitInadequacy via (*Inadequacy).Surrogate instead.
+func FitSurrogate(g *Graph, labeled []NodeID, cfg SurrogateConfig) (*Surrogate, error) {
+	return core.FitSurrogate(g, labeled, cfg)
 }
 
 // EstimateQueryTokens samples prompt constructions to estimate the

@@ -30,6 +30,40 @@ type BatchExecutor = batch.Executor
 // budget was already spent.
 var ErrBudgetExhausted = batch.ErrBudgetExhausted
 
+// ErrQueryTimeout marks predictor calls abandoned because they
+// outlived the per-query deadline (Options.QueryTimeout).
+var ErrQueryTimeout = batch.ErrQueryTimeout
+
+// ErrCircuitOpen marks queries rejected fast because the circuit
+// breaker judged the backend down (Options.BreakerThreshold).
+var ErrCircuitOpen = batch.ErrCircuitOpen
+
+// BreakerConfig configures the circuit breaker guarding the predictor;
+// the zero value disables it.
+type BreakerConfig = batch.BreakerConfig
+
+// ContextPredictor is a Predictor whose calls can be canceled via a
+// context; HTTP predictors implement it, and the executor's
+// QueryTimeout path uses it to abandon hung calls promptly.
+type ContextPredictor = llm.ContextPredictor
+
+// FaultConfig parameterizes deterministic fault injection for chaos
+// testing: seeded per-prompt error/hang/garbage schedules.
+type FaultConfig = llm.FaultConfig
+
+// FaultStats counts the faults a FaultInjector has injected.
+type FaultStats = llm.FaultStats
+
+// FaultInjector wraps a predictor with a deterministic fault schedule
+// keyed on hash(seed, prompt): chaos runs reproduce bit-for-bit at any
+// worker count.
+type FaultInjector = llm.FaultInjector
+
+// NewFaultInjector validates cfg and wraps p with fault injection.
+func NewFaultInjector(p Predictor, cfg FaultConfig) (*FaultInjector, error) {
+	return llm.NewFaultInjector(p, cfg)
+}
+
 // NewBatchExecutor builds a concurrent executor over p. Wrap
 // single-threaded predictors (like *Sim) with SerializePredictor.
 func NewBatchExecutor(p Predictor, cfg BatchConfig) (*BatchExecutor, error) {

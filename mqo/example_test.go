@@ -18,7 +18,7 @@ func ExampleTauForBudget() {
 	)
 	fullCost := queries * tokensPerQuery
 	for _, budget := range []float64{fullCost, 0.9 * fullCost, 0.8 * fullCost} {
-		tau := mqo.TauForBudget(budget, queries, tokensPerQuery, tokensNeighbor)
+		tau, _ := mqo.TauForBudget(budget, queries, tokensPerQuery, tokensNeighbor)
 		fmt.Printf("budget %.0f -> prune %.0f%% of queries\n", budget, 100*tau)
 	}
 	// Output:

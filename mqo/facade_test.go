@@ -210,8 +210,13 @@ func TestInadequacyRankFacade(t *testing.T) {
 	if len(randPlan.Prune) != 15 {
 		t.Errorf("random pruned %d, want 15", len(randPlan.Prune))
 	}
-	tau := TauForBudget(1000, 10, 200, 100)
-	if tau != 1 {
-		t.Errorf("infeasible budget τ = %v, want 1", tau)
+	// Budget 1000 exactly covers 10 all-pruned queries at 100 tokens:
+	// τ=1 and still feasible.
+	tau, ok := TauForBudget(1000, 10, 200, 100)
+	if tau != 1 || !ok {
+		t.Errorf("all-pruned budget τ = %v ok = %v, want 1 true", tau, ok)
+	}
+	if tau, ok := TauForBudget(999, 10, 200, 100); tau != 1 || ok {
+		t.Errorf("infeasible budget τ = %v ok = %v, want 1 false", tau, ok)
 	}
 }

@@ -38,7 +38,9 @@ package mqo
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -151,6 +153,27 @@ type Options struct {
 	// concurrent identical prompts coalesce into a single LLM call.
 	Cache bool
 
+	// QueryTimeout bounds each LLM call (per attempt); 0 means no
+	// deadline. A call past the deadline is abandoned with
+	// ErrQueryTimeout, so one hung request cannot stall the batch.
+	QueryTimeout time.Duration
+	// BreakerThreshold is the number of consecutive transient failures
+	// (timeouts, 5xx, transport errors) that opens a circuit breaker in
+	// front of the predictor; 0 disables the breaker. While open,
+	// queries fail fast with ErrCircuitOpen instead of queuing behind a
+	// dead backend.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// the backend again; 0 means the 30s default.
+	BreakerCooldown time.Duration
+	// Fallback degrades instead of failing: queries whose LLM path
+	// failed permanently (timeout, open breaker, exhausted budget or
+	// retries) are answered by the paper's surrogate classifier f_θ1,
+	// trained on the labeled set with zero LLM queries. Fallback
+	// answers are marked in Results.Fallback and counted in
+	// Report.SurrogateAnswered; they do not appear in QueryErrors.
+	Fallback bool
+
 	// Obs receives pipeline metrics and spans for this run; nil routes
 	// to the process-default recorder (no-op unless SetDefaultRecorder
 	// installed a registry).
@@ -165,6 +188,11 @@ func (o Options) execConfig() core.ExecConfig {
 		QPS:          o.QPS,
 		BudgetTokens: o.BudgetTokens,
 		Cache:        o.Cache,
+		QueryTimeout: o.QueryTimeout,
+		Breaker: batch.BreakerConfig{
+			Threshold: o.BreakerThreshold,
+			Cooldown:  o.BreakerCooldown,
+		},
 	}
 }
 
@@ -177,8 +205,22 @@ type Report struct {
 	Plan Plan
 	// Tau is the pruned fraction actually applied.
 	Tau float64
-	// Accuracy is the fraction of queries predicted correctly.
+	// Accuracy is the fraction of *answered* queries predicted
+	// correctly. After a degraded run (failed queries, no fallback)
+	// this overstates quality; PlanAccuracy and Coverage give the
+	// honest pair.
 	Accuracy float64
+	// PlanAccuracy scores against the full plan: an unanswered query
+	// counts as wrong.
+	PlanAccuracy float64
+	// Coverage is the fraction of planned queries that got an answer
+	// (from the LLM or the fallback surrogate).
+	Coverage float64
+	// LLMAnswered and SurrogateAnswered split the answered queries by
+	// who answered them; SurrogateAnswered is 0 unless Options.Fallback
+	// kicked in.
+	LLMAnswered       int
+	SurrogateAnswered int
 	// Rounds traces boosting rounds; nil when Boost is off.
 	Rounds []RoundTrace
 	// CalibrationQueries counts extra LLM queries spent fitting the
@@ -217,11 +259,16 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 	ecfg := opt.execConfig()
 	var execErr error
 
+	var iq *core.Inadequacy
 	if opt.Prune {
 		tau := opt.Tau
 		if opt.Budget > 0 {
 			perQuery, perNeighbor := core.EstimateQueryTokens(ctx, m, w.Queries, 0)
-			tau = core.TauForBudget(opt.Budget, len(w.Queries), perQuery, perNeighbor)
+			var ok bool
+			tau, ok = core.TauForBudget(opt.Budget, len(w.Queries), perQuery, perNeighbor)
+			if !ok {
+				return nil, fmt.Errorf("mqo: budget %.0f tokens infeasible for %d queries: even pruning every prompt (τ=%.2f) exceeds it", opt.Budget, len(w.Queries), tau)
+			}
 		}
 		if tau < 0 || tau > 1 {
 			return nil, fmt.Errorf("mqo: pruned fraction τ=%.3f outside [0,1]", tau)
@@ -238,17 +285,32 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 				cfg.Exec = ecfg
 			}
 			fitSpan := rec.StartSpan("mqo.fit_inadequacy")
-			iq, err := core.FitInadequacy(w.Graph, w.Labeled, p, ctx.NodeType, cfg)
+			fitted, err := core.FitInadequacy(w.Graph, w.Labeled, p, ctx.NodeType, cfg)
 			fitSpan.End()
 			if err != nil {
 				return nil, fmt.Errorf("mqo: fitting inadequacy: %w", err)
 			}
+			iq = fitted
 			rep.CalibrationQueries = iq.CalibrationQueries
 			rec.Add("mqo_calibration_queries_total", float64(iq.CalibrationQueries))
 			plan = core.PrunePlan(iq, w.Graph, w.Queries, tau)
 		}
 	}
 	rep.Plan = plan
+
+	if opt.Fallback {
+		if iq != nil {
+			// Pruning already trained the surrogate (step 1 of
+			// Algorithm 1); reuse it rather than fitting f_θ1 twice.
+			ecfg.Fallback = iq.Surrogate(w.Graph)
+		} else {
+			sur, err := core.FitSurrogate(w.Graph, w.Labeled, core.SurrogateConfig{Seed: w.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("mqo: fitting fallback surrogate: %w", err)
+			}
+			ecfg.Fallback = sur
+		}
+	}
 
 	if opt.Boost {
 		cfg := core.DefaultBoostConfig()
@@ -271,6 +333,9 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 		execErr = err
 	}
 	rep.Accuracy = core.Accuracy(w.Graph, rep.Results.Pred)
+	rep.PlanAccuracy, rep.Coverage = core.PlanAccuracy(w.Graph, plan.Queries, rep.Results.Pred)
+	rep.LLMAnswered = rep.Results.LLMAnswered()
+	rep.SurrogateAnswered = rep.Results.SurrogateAnswered()
 	if execErr != nil {
 		// Per-query failures (a *QueryErrors) come back alongside the
 		// partial report: the successful predictions, their token totals

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos check
+.PHONY: all build vet test race bench chaos warmcache check
 
 all: check
 
@@ -28,5 +28,24 @@ chaos:
 		if [ $$status -ne 0 ]; then rm -f chaos.log; exit $$status; fi
 	grep -Eq 'chaos: surrogate fallback answered [1-9][0-9]* queries' chaos.log
 	rm -f chaos.log
+
+# warmcache proves the persistent prompt cache end-to-end across two
+# processes: a cold mqobench run populates the cache directory, and the
+# warm re-run must answer every prompt from disk. The warm run's metrics
+# snapshot (BENCH_cache.json) must contain zero predictor calls
+# (mqo_sim_queries_total absent) and zero cache misses; the target fails
+# otherwise.
+warmcache:
+	rm -rf warmcache.dir
+	$(GO) run ./cmd/mqobench -exp table4 -fast -seed 1 -cache-dir warmcache.dir > /dev/null
+	$(GO) run ./cmd/mqobench -exp table4 -fast -seed 1 -cache-dir warmcache.dir -metrics-json BENCH_cache.json > /dev/null 2>&1
+	rm -rf warmcache.dir
+	@if grep -q mqo_sim_queries_total BENCH_cache.json; then \
+		echo "warmcache: FAIL - warm run paid predictor calls"; exit 1; fi
+	@if grep -q mqo_cache_misses_total BENCH_cache.json; then \
+		echo "warmcache: FAIL - warm run missed the cache"; exit 1; fi
+	@grep -q mqo_cache_hits_total BENCH_cache.json || \
+		{ echo "warmcache: FAIL - no cache hits recorded"; exit 1; }
+	@echo "warmcache: warm run served entirely from cache (BENCH_cache.json)"
 
 check: build vet test race

@@ -166,6 +166,76 @@ func BenchmarkBatchExecutor(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteColdVsWarm measures what the persistent prompt cache
+// buys: the same batch against a cold disk cache (every query pays the
+// simulated predictor and is written through) versus a warm one (every
+// query answers from disk; the warm sub-benchmark fails if even one
+// predictor call leaks through).
+func BenchmarkExecuteColdVsWarm(b *testing.B) {
+	w, _ := benchWorkload(b)
+	ctx := w.Context()
+	reqs := make([]mqo.BatchRequest, len(w.Queries))
+	for i, v := range w.Queries {
+		reqs[i] = mqo.BatchRequest{ID: fmt.Sprint(v), Prompt: mqo.BuildPrompt(ctx, v, nil, false)}
+	}
+	execOnce := func(b *testing.B, cache *mqo.PromptCache, wantHits int) {
+		b.Helper()
+		exec, err := mqo.NewBatchExecutor(
+			mqo.SerializePredictor(mqo.NewSim(mqo.GPT35(), w.Graph, 1)),
+			mqo.BatchConfig{Workers: 8, Disk: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exec.Execute(context.Background(), reqs)
+		if err != nil || res.Failed > 0 {
+			b.Fatalf("batch failed: %v / %d", err, res.Failed)
+		}
+		if res.CacheHits < wantHits {
+			b.Fatalf("%d cache hits, want >= %d", res.CacheHits, wantHits)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := mqo.OpenPromptCache(b.TempDir(), mqo.PromptCacheConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			execOnce(b, cache, 0)
+			b.StopTimer()
+			cache.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(len(reqs)), "queries/op")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		cache, err := mqo.OpenPromptCache(b.TempDir(), mqo.PromptCacheConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cache.Close()
+		execOnce(b, cache, 0) // populate
+		before := cache.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			execOnce(b, cache, len(reqs)) // every query must hit
+		}
+		b.StopTimer()
+		// Zero predictor calls on the warm path: no new entries appeared,
+		// and not a single disk lookup missed.
+		after := cache.Stats()
+		if after.Entries != before.Entries || after.Misses != before.Misses {
+			b.Fatalf("warm runs changed the cache: %+v -> %+v", before, after)
+		}
+		b.ReportMetric(float64(len(reqs)), "queries/op")
+	})
+}
+
 // BenchmarkHTTPRoundTrip measures one full chat-completions round trip
 // (client encode → server → sim → decode) over a local socket.
 func BenchmarkHTTPRoundTrip(b *testing.B) {

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/promptcache"
 	"repro/internal/tag"
 )
 
@@ -55,6 +56,9 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		traceCap  = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "request spans retained by /debug/traces")
 		accessLog = flag.Bool("access-log", true, "log one JSON line per request to stderr")
+		cacheDir  = flag.String("cache-dir", "", "persistent prompt-cache directory; repeated prompts are served from disk across restarts (empty = no cache)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
+		cacheTTL  = flag.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
 	)
 	flag.Parse()
 
@@ -80,7 +84,20 @@ func main() {
 
 	sim := llm.NewSim(p, g.Vocab, g.Classes, *seed)
 	sim.SetObserver(reg)
-	h := llm.NewHandler(sim)
+	var served llm.Predictor = sim
+	if *cacheDir != "" {
+		// Server-side persistent cache: repeated prompts answer from disk
+		// without touching the simulator, across restarts.
+		pcache, err := promptcache.Open(*cacheDir, promptcache.Config{
+			MaxBytes: *cacheMax, TTL: *cacheTTL, Obs: reg,
+		})
+		if err != nil {
+			log.Fatalf("llmserve: opening prompt cache: %v", err)
+		}
+		defer pcache.Close()
+		served = promptcache.Wrap(sim, pcache)
+	}
+	h := llm.NewHandler(served)
 	h.RequireKey = *apiKey
 	h.Obs = reg
 

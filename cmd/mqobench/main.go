@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/promptcache"
 )
 
 func main() {
@@ -30,6 +31,9 @@ func main() {
 		workers     = flag.Int("workers", 1, "concurrent LLM queries during plan execution (outputs are identical for any value)")
 		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
 		qTimeout    = flag.Duration("query-timeout", 0, "per-query deadline during plan execution (0 = none; the faults experiment defaults to 50ms)")
+		cacheDir    = flag.String("cache-dir", "", "persistent prompt-cache directory shared by all experiments (empty = no disk cache)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut     = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
@@ -73,11 +77,29 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	// One shared disk cache across every experiment and seed: namespaces
+	// (model identity + sim seed + template version) keep their entries
+	// disjoint, and a repeated bench run answers from disk.
+	var pcache *promptcache.Cache
+	if *cacheDir != "" {
+		ccfg := promptcache.Config{MaxBytes: *cacheMax, TTL: *cacheTTL}
+		if reg != nil {
+			ccfg.Obs = reg
+		}
+		var err error
+		pcache, err = promptcache.Open(*cacheDir, ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqobench: opening prompt cache: %v\n", err)
+			os.Exit(1)
+		}
+		defer pcache.Close()
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	for _, e := range toRun {
 		for rep := 0; rep < *seeds; rep++ {
 			s := *seed + uint64(rep)
-			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps, QueryTimeout: *qTimeout}
+			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps, QueryTimeout: *qTimeout, Disk: pcache}
 			start := time.Now()
 			out, err := e.Run(cfg)
 			if err != nil {

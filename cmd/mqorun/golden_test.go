@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// goldenArgs is the pinned end-to-end configuration: small enough for
+// test time, large enough to exercise pruning, boosting, inadequacy
+// fitting and multi-round scheduling.
+var goldenArgs = []string{
+	"-dataset", "cora", "-scale", "0.1", "-queries", "30",
+	"-prune", "0.25", "-boost", "-seed", "1",
+}
+
+const goldenFile = "testdata/golden_cora.txt"
+
+// runMain drives the command exactly like a shell would and returns its
+// stdout. Diagnostics (progress chatter, cache stats) go to stderr and
+// are not part of the golden contract.
+func runMain(t *testing.T, extra ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append(append([]string{}, goldenArgs...), extra...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestGoldenOutput is the regression anchor for the full pipeline: the
+// committed table must be reproduced byte-identically with the cache
+// cold, the cache warm, at 1 and 8 workers, and with no cache at all.
+// Any diff means either results drifted (a real regression) or the
+// output format changed (regenerate with UPDATE_GOLDEN=1 go test).
+func TestGoldenOutput(t *testing.T) {
+	cacheDir := t.TempDir()
+	cold := runMain(t, "-cache-dir", cacheDir)
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenFile, []byte(cold), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenFile)
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != string(want) {
+		t.Fatalf("cold run diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenFile, cold, want)
+	}
+
+	for name, extra := range map[string][]string{
+		"warm":           {"-cache-dir", cacheDir},
+		"warm-8-workers": {"-cache-dir", cacheDir, "-workers", "8"},
+		"cold-8-workers": {"-cache-dir", t.TempDir(), "-workers", "8"},
+		"no-cache":       nil,
+	} {
+		if got := runMain(t, extra...); got != string(want) {
+			t.Errorf("%s run diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// TestWarmRunMakesZeroPredictorCalls asserts the acceptance criterion
+// directly: a second identical mqorun against the same cache directory
+// performs zero predictor calls — the simulator's query counter never
+// increments, and the cache reports no misses.
+func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
+	cacheDir := t.TempDir()
+	runMain(t, "-cache-dir", cacheDir) // cold: populates the cache
+
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	runMain(t, "-cache-dir", cacheDir, "-metrics-json", metricsPath)
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.MetricSnapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		t.Fatalf("parsing %s: %v", metricsPath, err)
+	}
+	byName := func(name string) (float64, bool) {
+		total, found := 0.0, false
+		for _, s := range snaps {
+			if s.Name == name {
+				total += s.Value
+				found = true
+			}
+		}
+		return total, found
+	}
+	if calls, found := byName("mqo_sim_queries_total"); found && calls != 0 {
+		t.Errorf("warm run paid %v predictor calls, want 0", calls)
+	}
+	if misses, found := byName("mqo_cache_misses_total"); found && misses != 0 {
+		t.Errorf("warm run had %v cache misses, want 0", misses)
+	}
+	hits, found := byName("mqo_cache_hits_total")
+	if !found || hits == 0 {
+		t.Errorf("warm run recorded no cache hits (found=%v, hits=%v)", found, hits)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	mqorun -dataset cora -method 2-hop -prune 0.2 -boost
 //	mqorun -dataset pubmed -method sns -budget 1200000
+//	mqorun -dataset cora -cache-dir /var/cache/mqo   # second run is free
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
+	"repro/internal/promptcache"
 	"repro/internal/tablefmt"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -44,35 +47,47 @@ func methodByName(name string) (predictors.Method, error) {
 }
 
 func main() {
-	var (
-		dsName      = flag.String("dataset", "cora", "dataset name: "+strings.Join(tag.SortedNames(), ", "))
-		mName       = flag.String("method", "2-hop", "prediction method: vanilla, 1-hop, 2-hop, sns")
-		model       = flag.String("model", "gpt-3.5", "LLM profile: gpt-3.5 or gpt-4o-mini")
-		seed        = flag.Uint64("seed", 1, "deterministic seed")
-		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
-		queries     = flag.Int("queries", 0, "query count (0 = dataset default)")
-		prune       = flag.Float64("prune", -1, "prune fraction tau in [0,1] (overrides -budget)")
-		budget      = flag.Float64("budget", 0, "input-token budget B (0 = unlimited)")
-		boost       = flag.Bool("boost", false, "apply query boosting")
-		m           = flag.Int("m", 4, "max neighbors per prompt")
-		workers     = flag.Int("workers", 1, "concurrent LLM queries (results are identical for any value)")
-		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
-		qTimeout    = flag.Duration("query-timeout", 0, "per-query deadline; hung calls are abandoned (0 = none)")
-		breakerN    = flag.Int("breaker", 0, "consecutive transient failures that open the circuit breaker (0 = disabled)")
-		breakerCool = flag.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = 30s default)")
-		fallback    = flag.Bool("fallback", false, "answer permanently-failed queries with the surrogate classifier")
-		faultErr    = flag.Float64("fault-error", 0, "chaos: fraction of prompts that fail with an injected 503")
-		faultHang   = flag.Float64("fault-hang", 0, "chaos: fraction of prompts that hang until the query timeout")
-		faultGarble = flag.Float64("fault-garbage", 0, "chaos: fraction of prompts answered off-template")
-		savePlan    = flag.String("save-plan", "", "write the optimized plan to this JSON file")
-		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
-		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
-	)
-	flag.Parse()
-
-	fail := func(err error) {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "mqorun: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, user-facing output goes to stdout, diagnostics to stderr. The
+// golden e2e test drives it exactly like a shell would.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mqorun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dsName      = fs.String("dataset", "cora", "dataset name: "+strings.Join(tag.SortedNames(), ", "))
+		mName       = fs.String("method", "2-hop", "prediction method: vanilla, 1-hop, 2-hop, sns")
+		model       = fs.String("model", "gpt-3.5", "LLM profile: gpt-3.5 or gpt-4o-mini")
+		seed        = fs.Uint64("seed", 1, "deterministic seed")
+		scale       = fs.Float64("scale", 1.0, "dataset scale factor")
+		queries     = fs.Int("queries", 0, "query count (0 = dataset default)")
+		prune       = fs.Float64("prune", -1, "prune fraction tau in [0,1] (overrides -budget)")
+		budget      = fs.Float64("budget", 0, "input-token budget B (0 = unlimited)")
+		boost       = fs.Bool("boost", false, "apply query boosting")
+		m           = fs.Int("m", 4, "max neighbors per prompt")
+		workers     = fs.Int("workers", 1, "concurrent LLM queries (results are identical for any value)")
+		qps         = fs.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
+		qTimeout    = fs.Duration("query-timeout", 0, "per-query deadline; hung calls are abandoned (0 = none)")
+		breakerN    = fs.Int("breaker", 0, "consecutive transient failures that open the circuit breaker (0 = disabled)")
+		breakerCool = fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = 30s default)")
+		fallback    = fs.Bool("fallback", false, "answer permanently-failed queries with the surrogate classifier")
+		faultErr    = fs.Float64("fault-error", 0, "chaos: fraction of prompts that fail with an injected 503")
+		faultHang   = fs.Float64("fault-hang", 0, "chaos: fraction of prompts that hang until the query timeout")
+		faultGarble = fs.Float64("fault-garbage", 0, "chaos: fraction of prompts answered off-template")
+		cacheDir    = fs.String("cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
+		cacheMax    = fs.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
+		cacheTTL    = fs.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
+		savePlan    = fs.String("save-plan", "", "write the optimized plan to this JSON file")
+		metricsDump = fs.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
+		metricsJSON = fs.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
 	// The registry is installed as the process default, so every layer
@@ -81,36 +96,38 @@ func main() {
 	if *metricsDump || *metricsJSON != "" {
 		reg = obs.NewRegistry()
 		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
 	}
-	dumpMetrics := func() {
+	dumpMetrics := func() error {
 		if reg == nil {
-			return
+			return nil
 		}
 		if *metricsDump {
-			fmt.Println("\nmetrics:")
-			if err := reg.WritePrometheus(os.Stdout); err != nil {
-				fail(err)
+			fmt.Fprintln(stdout, "\nmetrics:")
+			if err := reg.WritePrometheus(stdout); err != nil {
+				return err
 			}
 		}
 		if *metricsJSON != "" {
 			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+			fmt.Fprintf(stdout, "metrics snapshot written to %s\n", *metricsJSON)
 		}
+		return nil
 	}
 
 	spec, err := tag.SpecByName(*dsName)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	method, err := methodByName(*mName)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	var profile llm.Profile
 	switch *model {
@@ -119,10 +136,10 @@ func main() {
 	case "gpt-4o-mini":
 		profile = llm.GPT4oMini()
 	default:
-		fail(fmt.Errorf("unknown model %q", *model))
+		return fmt.Errorf("unknown model %q", *model)
 	}
 
-	fmt.Printf("generating %s (scale %.2f)...\n", spec.Display, *scale)
+	fmt.Fprintf(stdout, "generating %s (scale %.2f)...\n", spec.Display, *scale)
 	g := tag.Generate(spec, *seed, tag.Options{Scale: *scale})
 	q := spec.QueryCount
 	if *queries > 0 {
@@ -149,7 +166,7 @@ func main() {
 	var injector *llm.FaultInjector
 	if *faultErr > 0 || *faultHang > 0 || *faultGarble > 0 {
 		if *faultHang > 0 && *qTimeout <= 0 {
-			fail(fmt.Errorf("-fault-hang requires -query-timeout, or hung prompts block forever"))
+			return fmt.Errorf("-fault-hang requires -query-timeout, or hung prompts block forever")
 		}
 		injector, err = llm.NewFaultInjector(sim, llm.FaultConfig{
 			Seed:        *seed + 13,
@@ -158,7 +175,7 @@ func main() {
 			GarbageRate: *faultGarble,
 		})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		pred = injector
 	}
@@ -168,82 +185,117 @@ func main() {
 		QueryTimeout: *qTimeout,
 		Breaker:      batch.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCool},
 	}
+	// Persistent prompt cache: every stage below — baseline, inadequacy
+	// fitting, optimized run, boosting — shares the disk tier, and a
+	// repeated invocation with the same flags answers entirely from it.
+	var pcache *promptcache.Cache
+	var cacheNS string
+	if *cacheDir != "" {
+		ccfg := promptcache.Config{MaxBytes: *cacheMax, TTL: *cacheTTL}
+		if reg != nil {
+			ccfg.Obs = reg
+		}
+		pcache, err = promptcache.Open(*cacheDir, ccfg)
+		if err != nil {
+			return fmt.Errorf("opening prompt cache: %w", err)
+		}
+		defer pcache.Close()
+		cacheNS = promptcache.Namespace(pred)
+		ecfg.Disk = pcache
+		ecfg.CacheNamespace = cacheNS
+	}
 	if *fallback {
 		sur, err := core.FitSurrogate(g, split.Labeled, core.SurrogateConfig{Seed: *seed})
 		if err != nil {
-			fail(fmt.Errorf("fitting fallback surrogate: %w", err))
+			return fmt.Errorf("fitting fallback surrogate: %w", err)
 		}
 		ecfg.Fallback = sur
 	}
 
 	// Per-query failures come back as a *QueryErrors alongside partial
 	// results: report and keep going rather than voiding the whole run.
-	tolerate := func(stage string, err error) {
+	tolerate := func(stage string, err error) error {
 		if err == nil {
-			return
+			return nil
 		}
 		var qe *core.QueryErrors
 		if errors.As(err, &qe) {
-			fmt.Fprintf(os.Stderr, "mqorun: %s: %v (continuing with partial results)\n", stage, qe)
-			return
+			fmt.Fprintf(stderr, "mqorun: %s: %v (continuing with partial results)\n", stage, qe)
+			return nil
 		}
-		fail(err)
+		return err
 	}
 
 	// Baseline.
-	fmt.Printf("running baseline %s over %d queries (%d workers)...\n", method.Name(), len(split.Query), *workers)
+	// The worker count goes to stderr: results are identical for any
+	// -workers value, and stdout stays byte-comparable across runs.
+	fmt.Fprintf(stderr, "concurrency: %d workers\n", *workers)
+	fmt.Fprintf(stdout, "running baseline %s over %d queries...\n", method.Name(), len(split.Query))
 	base, err := core.ExecuteWith(newCtx(), method, pred, core.Plan{Queries: split.Query}, ecfg)
-	tolerate("baseline", err)
+	if err := tolerate("baseline", err); err != nil {
+		return err
+	}
 
 	// Optimized plan.
 	plan := core.Plan{Queries: split.Query}
 	tau := 0.0
 	if *prune >= 0 || *budget > 0 {
-		fmt.Println("fitting text-inadequacy measure...")
+		fmt.Fprintln(stdout, "fitting text-inadequacy measure...")
 		iqCfg := core.DefaultInadequacyConfig()
 		iqCfg.Seed = *seed
 		iqCfg.Exec = ecfg
 		iq, err := core.FitInadequacy(g, split.Labeled, pred, "paper", iqCfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		tau = *prune
 		if tau < 0 {
-			perQ, perN := core.EstimateQueryTokens(newCtx(), method, split.Query, 200)
+			// Cache-aware budgeting: prompts already answered on disk cost
+			// zero marginal tokens, so a warm cache admits more queries
+			// under the same budget.
+			var cached func(string) bool
+			if pcache != nil {
+				cached = func(promptText string) bool {
+					return pcache.Contains(promptcache.KeyOf(cacheNS, promptText))
+				}
+			}
+			perQ, perN := core.EstimateQueryTokensCached(newCtx(), method, split.Query, 200, cached)
 			var ok bool
 			tau, ok = core.TauForBudget(*budget, len(split.Query), perQ, perN)
 			if !ok {
-				fail(fmt.Errorf("budget %.0f tokens is infeasible for %d queries: even pruning every prompt needs %.0f tokens",
-					*budget, len(split.Query), float64(len(split.Query))*(perQ-perN)))
+				return fmt.Errorf("budget %.0f tokens is infeasible for %d queries: even pruning every prompt needs %.0f tokens",
+					*budget, len(split.Query), float64(len(split.Query))*(perQ-perN))
 			}
-			fmt.Printf("budget %.0f tokens -> tau = %.2f (perQuery %.0f, perNeighborText %.0f)\n", *budget, tau, perQ, perN)
+			fmt.Fprintf(stdout, "budget %.0f tokens -> tau = %.2f (perQuery %.0f, perNeighborText %.0f)\n", *budget, tau, perQ, perN)
 		}
 		plan = core.PrunePlan(iq, g, split.Query, tau)
 	}
 	if *savePlan != "" {
 		f, err := os.Create(*savePlan)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		err = core.SavePlan(f, plan)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fail(fmt.Errorf("saving plan: %w", err))
+			return fmt.Errorf("saving plan: %w", err)
 		}
-		fmt.Printf("plan written to %s (%d queries, %d pruned)\n", *savePlan, len(plan.Queries), len(plan.Prune))
+		fmt.Fprintf(stdout, "plan written to %s (%d queries, %d pruned)\n", *savePlan, len(plan.Queries), len(plan.Prune))
 	}
 
 	var optimized *core.Results
 	if *boost {
-		fmt.Println("executing with query boosting...")
+		fmt.Fprintln(stdout, "executing with query boosting...")
 		optimized, _, err = core.BoostWith(newCtx(), method, pred, plan, core.DefaultBoostConfig(), ecfg)
 	} else {
-		fmt.Println("executing plan...")
+		fmt.Fprintln(stdout, "executing plan...")
 		optimized, err = core.ExecuteWith(newCtx(), method, pred, plan, ecfg)
 	}
-	tolerate("optimized run", err)
+	if err := tolerate("optimized run", err); err != nil {
+		return err
+	}
 
 	// Accuracy is scored against the full plan (an unanswered query
 	// counts as wrong) with coverage alongside, so partial results after
@@ -269,25 +321,30 @@ func main() {
 		tablefmt.Pct(optAcc), tablefmt.Pct(optCov),
 		tablefmt.Int(int64(optimized.Meter.InputTokens())),
 		fmt.Sprint(optimized.Equipped), fmt.Sprint(optimized.Rounds))
-	fmt.Print(t.String())
+	fmt.Fprint(stdout, t.String())
 
 	if n := base.SurrogateAnswered() + optimized.SurrogateAnswered(); n > 0 {
-		fmt.Printf("\nsurrogate-answered queries (LLM path failed): baseline %d, optimized %d\n",
+		fmt.Fprintf(stdout, "\nsurrogate-answered queries (LLM path failed): baseline %d, optimized %d\n",
 			base.SurrogateAnswered(), optimized.SurrogateAnswered())
 	}
 	if injector != nil {
 		st := injector.Stats()
-		fmt.Printf("injected faults: %d errors, %d hangs, %d garbage (%d passed)\n",
+		fmt.Fprintf(stdout, "injected faults: %d errors, %d hangs, %d garbage (%d passed)\n",
 			st.Errors, st.Hangs, st.Garbage, st.Passed)
 	}
 
 	saved := base.Meter.InputTokens() - optimized.Meter.InputTokens()
 	if saved != 0 {
-		fmt.Printf("\ninput tokens saved vs baseline: %s (%.1f%%)\n",
+		fmt.Fprintf(stdout, "\ninput tokens saved vs baseline: %s (%.1f%%)\n",
 			tablefmt.Int(int64(saved)), 100*float64(saved)/float64(base.Meter.InputTokens()))
 	}
 	if optimized.PseudoLabelUses > 0 {
-		fmt.Printf("pseudo-label enrichments during boosting: %d\n", optimized.PseudoLabelUses)
+		fmt.Fprintf(stdout, "pseudo-label enrichments during boosting: %d\n", optimized.PseudoLabelUses)
 	}
-	dumpMetrics()
+	if pcache != nil {
+		st := pcache.Stats()
+		fmt.Fprintf(stderr, "prompt cache: %d hits, %d misses, %d evictions, %d entries (%s)\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries, tablefmt.Int(st.Bytes))
+	}
+	return dumpMetrics()
 }

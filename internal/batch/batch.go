@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/promptcache"
 )
 
 // Metric names emitted by the executor; the full catalog lives in
@@ -83,6 +84,20 @@ type Config struct {
 	Breaker BreakerConfig
 	// Cache serves repeated prompts from memory instead of re-querying.
 	Cache bool
+	// Disk, when non-nil, adds a persistent tier behind the memory
+	// cache: misses consult the disk cache before paying for a
+	// predictor call, and fresh answers are written through to it.
+	// Setting Disk implies Cache — the memory tier fronts the disk tier
+	// so a hot prompt is served without touching shard locks. Lookups
+	// run inside the single-flight critical section, so concurrent
+	// identical prompts cost at most one disk read.
+	Disk *promptcache.Cache
+	// CacheNamespace partitions the disk cache by answer function;
+	// empty derives it from the predictor (promptcache.Namespace), which
+	// folds in the model identity, its seed and the prompt-template
+	// version. Set it explicitly only to share or isolate cache entries
+	// in a non-standard way.
+	CacheNamespace string
 	// Log, when non-nil, receives one JSON line per query outcome.
 	// Prompts are logged as SHA-256 digests, never as raw text.
 	Log io.Writer
@@ -174,8 +189,11 @@ func New(p llm.Predictor, cfg Config) (*Executor, error) {
 	if cfg.MaxRetryDelay <= 0 {
 		cfg.MaxRetryDelay = llm.DefaultMaxRetryDelay
 	}
+	if cfg.Disk != nil && cfg.CacheNamespace == "" {
+		cfg.CacheNamespace = promptcache.Namespace(p)
+	}
 	e := &Executor{p: p, cfg: cfg, brk: newBreaker(cfg.Breaker, cfg.Obs)}
-	if cfg.Cache {
+	if cfg.Cache || cfg.Disk != nil {
 		e.cache = make(map[string]llm.Response)
 		e.flight = make(map[string]*flightCall)
 	}
@@ -410,7 +428,20 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 		fc := &flightCall{done: make(chan struct{})}
 		e.flight[r.Prompt] = fc
 		e.mu.Unlock()
-		o, label := e.attempt(ctx, r, bud, tick, rec, digest, live)
+		var o Outcome
+		var label string
+		if resp, ok := e.diskGet(r.Prompt); ok {
+			// Persistent tier: an earlier run (or an earlier stage of
+			// this one) already paid for this prompt. Promote it to the
+			// memory tier so repeats skip the shard lock.
+			o, label = Outcome{Response: resp, Cached: true}, "disk"
+			e.mu.Lock()
+			e.cache[r.Prompt] = resp
+			e.mu.Unlock()
+			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: resp.Category, Cached: true})
+		} else {
+			o, label = e.attempt(ctx, r, bud, tick, rec, digest, live)
+		}
 		fc.resp, fc.err = o.Response, o.Err
 		e.mu.Lock()
 		delete(e.flight, r.Prompt)
@@ -478,6 +509,11 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 				e.cache[r.Prompt] = resp
 				e.mu.Unlock()
 			}
+			if e.cfg.Disk != nil {
+				// Write-through is best-effort: a full or failing disk
+				// loses persistence, not the (already correct) answer.
+				_ = e.cfg.Disk.Put(promptcache.KeyOf(e.cfg.CacheNamespace, r.Prompt), resp)
+			}
 			e.log(logLine{
 				ID: r.ID, PromptSHA256: digest,
 				InputTokens: resp.InputTokens, OutputTokens: resp.OutputTokens,
@@ -512,6 +548,14 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 		Err:      fmt.Errorf("batch: request %q failed after %d attempts: %w", r.ID, e.cfg.MaxRetries+1, lastErr),
 		Attempts: e.cfg.MaxRetries + 1,
 	}, "error"
+}
+
+// diskGet consults the persistent tier, when configured.
+func (e *Executor) diskGet(prompt string) (llm.Response, bool) {
+	if e.cfg.Disk == nil {
+		return llm.Response{}, false
+	}
+	return e.cfg.Disk.Get(promptcache.KeyOf(e.cfg.CacheNamespace, prompt))
 }
 
 // reportBreaker feeds a call outcome to the breaker when one exists.
@@ -598,6 +642,10 @@ type serialized struct {
 
 // Name implements llm.Predictor.
 func (s *serialized) Name() string { return s.p.Name() }
+
+// Identity forwards the inner identity: serialization does not change
+// the answer function, so cache namespaces must not change either.
+func (s *serialized) Identity() string { return llm.IdentityOf(s.p) }
 
 // Query implements llm.Predictor under a lock.
 func (s *serialized) Query(prompt string) (llm.Response, error) {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
+	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/token"
 	"repro/internal/xrand"
@@ -201,6 +202,15 @@ type ExecConfig struct {
 	// Cache serves repeated prompts from memory and single-flights
 	// concurrent duplicates.
 	Cache bool
+	// Disk adds a persistent cache tier behind the memory cache:
+	// answers survive the process, so a repeated plan (or a boosting
+	// round re-asking round-N prompts) pays zero predictor calls for
+	// prompts any earlier run already bought. Implies Cache.
+	Disk *promptcache.Cache
+	// CacheNamespace partitions the disk cache by answer function;
+	// empty derives it from the predictor identity and prompt-template
+	// version (promptcache.Namespace).
+	CacheNamespace string
 	// QueryTimeout bounds each predictor call (per attempt); 0 means no
 	// deadline. A hung call is abandoned with batch.ErrQueryTimeout, so
 	// one stuck prompt cannot stall the whole plan.
@@ -232,11 +242,13 @@ func (cfg ExecConfig) batchConfig(rec obs.Recorder) batch.Config {
 		MaxRetries:    retries,
 		RetryDelay:    cfg.RetryDelay,
 		MaxRetryDelay: cfg.MaxRetryDelay,
-		BudgetTokens:  cfg.BudgetTokens,
-		Cache:         cfg.Cache,
-		QueryTimeout:  cfg.QueryTimeout,
-		Breaker:       cfg.Breaker,
-		Obs:           rec,
+		BudgetTokens:   cfg.BudgetTokens,
+		Cache:          cfg.Cache,
+		Disk:           cfg.Disk,
+		CacheNamespace: cfg.CacheNamespace,
+		QueryTimeout:   cfg.QueryTimeout,
+		Breaker:        cfg.Breaker,
+		Obs:            rec,
 	}
 }
 
@@ -285,6 +297,10 @@ type timedPredictor struct {
 
 // Name implements llm.Predictor.
 func (t *timedPredictor) Name() string { return t.inner.Name() }
+
+// Identity forwards the inner identity so the batch executor's default
+// disk-cache namespace is unchanged by instrumentation.
+func (t *timedPredictor) Identity() string { return llm.IdentityOf(t.inner) }
 
 // Query implements llm.Predictor with span + histogram instrumentation.
 func (t *timedPredictor) Query(promptText string) (llm.Response, error) {
@@ -474,6 +490,21 @@ func TauForBudget(budget float64, numQueries int, tokensPerQuery, tokensNeighbor
 // sampling the prefix instead would bias τ-for-budget whenever the
 // query set arrives ordered (by degree, score, or node ID).
 func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int) (perQuery, perNeighborText float64) {
+	return EstimateQueryTokensCached(ctx, m, queries, sample, nil)
+}
+
+// EstimateQueryTokensCached is EstimateQueryTokens made cache-aware:
+// queries whose full prompt `cached` reports as already answered
+// contribute zero marginal tokens to both averages, because executing
+// them re-pays nothing — the answer is served from the persistent
+// cache. Budgeting with these averages lets TauForBudget admit more
+// un-pruned queries under the same budget on warm runs, which is the
+// planner-level payoff of the disk cache: the budget buys *new*
+// tokens, not tokens already bought.
+//
+// The lookup sees the fully-equipped prompt (the one a cache hit would
+// serve). nil behaves exactly like EstimateQueryTokens.
+func EstimateQueryTokensCached(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int, cached func(promptText string) bool) (perQuery, perNeighborText float64) {
 	if len(queries) == 0 {
 		return 0, 0
 	}
@@ -494,6 +525,9 @@ func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries [
 	for _, v := range sampled {
 		sel := m.Select(ctx, v)
 		withNb := predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0)
+		if cached != nil && cached(withNb) {
+			continue // zero marginal tokens: the answer is already on disk
+		}
 		vanilla := predictors.BuildPrompt(ctx, v, nil, false)
 		full += float64(token.Count(withNb))
 		bare += float64(token.Count(vanilla))

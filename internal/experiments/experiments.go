@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/predictors"
+	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/xrand"
 
@@ -34,12 +35,18 @@ type Config struct {
 	// QueryTimeout bounds each LLM call; hung calls are abandoned. 0
 	// means no deadline (the faults experiment applies its own default).
 	QueryTimeout time.Duration
+	// Disk, when non-nil, backs every experiment's plan execution with
+	// the persistent prompt cache. The cache namespace is derived per
+	// predictor (model identity + seed + template version), so distinct
+	// experiments sharing one directory cannot cross-contaminate, and a
+	// repeated run answers its repeated prompts from disk.
+	Disk *promptcache.Cache
 }
 
 // exec lowers the config's concurrency knobs for core.ExecuteWith and
 // core.BoostWith.
 func (cfg Config) exec() core.ExecConfig {
-	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS, QueryTimeout: cfg.QueryTimeout}
+	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS, QueryTimeout: cfg.QueryTimeout, Disk: cfg.Disk}
 }
 
 // Experiment is one regenerable paper artifact.

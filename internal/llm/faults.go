@@ -104,6 +104,15 @@ func NewFaultInjector(p Predictor, cfg FaultConfig) (*FaultInjector, error) {
 // Name implements Predictor.
 func (f *FaultInjector) Name() string { return f.inner.Name() + "+faults" }
 
+// Identity implements Identifier. The fault schedule changes which
+// answers come back (garbage fates replace real completions), so the
+// injector's seed and rates are part of the answer-function identity —
+// a cache filled during a chaos run can never leak into a clean one.
+func (f *FaultInjector) Identity() string {
+	return fmt.Sprintf("%s+faults(seed=%d,e=%g,h=%g,g=%g)",
+		IdentityOf(f.inner), f.cfg.Seed, f.cfg.ErrorRate, f.cfg.HangRate, f.cfg.GarbageRate)
+}
+
 // Stats snapshots the injected-fault counters.
 func (f *FaultInjector) Stats() FaultStats {
 	return FaultStats{

@@ -93,6 +93,11 @@ func NewHTTPPredictor(cfg HTTPConfig) (*HTTPPredictor, error) {
 // Name implements Predictor.
 func (c *HTTPPredictor) Name() string { return c.cfg.Model }
 
+// Identity implements Identifier: the model id plus the endpoint, so
+// persistent caches distinguish the same model name served by two
+// different backends (say, llmserve instances over different datasets).
+func (c *HTTPPredictor) Identity() string { return c.cfg.Model + "@" + c.cfg.BaseURL }
+
 // Meter returns the client-side token meter (cumulative usage of all
 // queries, successful or not as reported by the server). The meter is
 // synchronized, so it stays consistent when the predictor serves a

@@ -53,6 +53,26 @@ type Predictor interface {
 	Query(promptText string) (Response, error)
 }
 
+// Identifier is implemented by predictors that can state their full
+// answer-function identity: everything that determines which response
+// a given prompt receives. For the simulator that is the profile name
+// plus the construction seed — two sims with different seeds answer
+// the same prompt differently, so anything keyed on Name alone (such
+// as a persistent prompt cache) would serve wrong answers across
+// seeds. Predictors that do not implement it are identified by Name.
+type Identifier interface {
+	Identity() string
+}
+
+// IdentityOf returns p's full identity when it exposes one, and its
+// Name otherwise.
+func IdentityOf(p Predictor) string {
+	if id, ok := p.(Identifier); ok {
+		return id.Identity()
+	}
+	return p.Name()
+}
+
 // ContextPredictor is implemented by predictors whose queries can be
 // canceled mid-flight. The batch executor prefers this path when
 // enforcing per-query deadlines: a hung call is abandoned the moment
@@ -186,6 +206,12 @@ func NewSim(p Profile, vocab *textgen.Vocabulary, classes []string, seed uint64)
 
 // Name returns the profile name.
 func (s *Sim) Name() string { return s.profile.Name }
+
+// Identity implements Identifier: the profile name plus the seed that
+// shaped the simulator's noisy knowledge, bias vector and decision
+// noise. Persistent caches key on this, so reseeding the sim can never
+// replay another seed's answers.
+func (s *Sim) Identity() string { return fmt.Sprintf("%s/seed=%d", s.profile.Name, s.seed) }
 
 // Meter exposes cumulative token usage across all queries.
 func (s *Sim) Meter() *token.Meter { return &s.meter }

@@ -16,6 +16,12 @@ import (
 	"strings"
 )
 
+// TemplateVersion identifies the prompt-template generation. It is
+// part of every persistent prompt-cache namespace: cached answers are
+// only valid for the exact template that produced the prompt, so bump
+// this string whenever Build's rendering changes in any way.
+const TemplateVersion = "v1"
+
 // Neighbor is one neighbor entry in a prompt.
 type Neighbor struct {
 	Title    string

@@ -45,6 +45,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
+	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/xrand"
 )
@@ -152,6 +153,19 @@ type Options struct {
 	// prompts are served from an in-memory response cache, and
 	// concurrent identical prompts coalesce into a single LLM call.
 	Cache bool
+	// CacheDir, when non-empty, adds a persistent prompt cache under
+	// this directory: answers survive the process, so repeating a run
+	// pays only for prompts never asked before. Entries are keyed by
+	// the predictor's identity (model + its seed), the prompt-template
+	// version and the prompt text, so a model/seed/template change can
+	// never serve stale answers. Implies Cache.
+	CacheDir string
+	// CacheMaxBytes bounds the persistent cache's live bytes (LRU
+	// eviction); 0 means unbounded.
+	CacheMaxBytes int64
+	// CacheTTL expires persistent entries this long after they were
+	// written; 0 means they never expire.
+	CacheTTL time.Duration
 
 	// QueryTimeout bounds each LLM call (per attempt); 0 means no
 	// deadline. A call past the deadline is abandoned with
@@ -259,11 +273,35 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 	ecfg := opt.execConfig()
 	var execErr error
 
+	var pcache *promptcache.Cache
+	if opt.CacheDir != "" {
+		c, err := promptcache.Open(opt.CacheDir, promptcache.Config{
+			MaxBytes: opt.CacheMaxBytes, TTL: opt.CacheTTL, Obs: ctx.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mqo: opening prompt cache: %w", err)
+		}
+		defer c.Close()
+		pcache = c
+		ecfg.Disk = c
+		ecfg.CacheNamespace = promptcache.Namespace(p)
+	}
+
 	var iq *core.Inadequacy
 	if opt.Prune {
 		tau := opt.Tau
 		if opt.Budget > 0 {
-			perQuery, perNeighbor := core.EstimateQueryTokens(ctx, m, w.Queries, 0)
+			// Cache-aware budgeting: prompts already answered on disk
+			// cost zero marginal tokens, so a warm cache admits more
+			// un-pruned queries under the same budget.
+			var cached func(string) bool
+			if pcache != nil {
+				ns := ecfg.CacheNamespace
+				cached = func(promptText string) bool {
+					return pcache.Contains(promptcache.KeyOf(ns, promptText))
+				}
+			}
+			perQuery, perNeighbor := core.EstimateQueryTokensCached(ctx, m, w.Queries, 0, cached)
 			var ok bool
 			tau, ok = core.TauForBudget(opt.Budget, len(w.Queries), perQuery, perNeighbor)
 			if !ok {

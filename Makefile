@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos warmcache check
+.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache check
 
 all: check
 
@@ -18,6 +18,30 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# benchpool measures the replica pool's hedged-tail win (p99 with one
+# occasionally-stalling backend vs a 3-replica hedged pool) and appends
+# the result as one JSON line to BENCH_pool.json. The benchmark itself
+# fails unless hedging at least halves the p99.
+benchpool:
+	MQO_BENCH_JSON=$(CURDIR)/BENCH_pool.json \
+		$(GO) test -bench BenchmarkPoolHedgedTail -benchtime 3x -run '^$$' ./internal/pool/
+	@tail -n 1 BENCH_pool.json
+
+# fuzz smokes every fuzz target for a bounded interval (go test -fuzz
+# accepts one target per package invocation).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzPoolPick -fuzztime $(FUZZTIME) -run '^$$' ./internal/pool/
+	$(GO) test -fuzz FuzzReplayLog -fuzztime $(FUZZTIME) -run '^$$' ./internal/batch/
+	$(GO) test -fuzz FuzzSegmentReplay -fuzztime $(FUZZTIME) -run '^$$' ./internal/promptcache/
+
+# soak runs the chaos soak (replica pool + hedging + breakers + disk
+# cache + surrogate fallback under injected faults) with the race
+# detector. -short keeps CI at 2k query executions; drop it locally for
+# the full 10k.
+soak:
+	$(GO) test -race -tags soak -short -run 'TestSoak' ./internal/core/
 
 # chaos runs the fault-injection experiment at a fixed seed and asserts
 # that the surrogate fallback actually answered queries and that the

@@ -35,11 +35,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/promptcache"
 	"repro/internal/tag"
 )
@@ -59,6 +62,13 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persistent prompt-cache directory; repeated prompts are served from disk across restarts (empty = no cache)")
 		cacheMax  = flag.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
 		cacheTTL  = flag.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
+
+		upstreams     = flag.String("upstreams", "", "comma-separated base URLs of upstream OpenAI-compatible endpoints; when set, llmserve proxies through the health-aware replica pool instead of serving the local simulator")
+		upstreamModel = flag.String("upstream-model", "sim", "model identifier sent to the -upstreams endpoints")
+		hedge         = flag.Bool("hedge", false, "race a second upstream when the first outlives -hedge-after (needs >= 2 -upstreams)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge trigger delay (0 = 50ms default)")
+		breakerN      = flag.Int("breaker", 0, "consecutive transient failures that eject an upstream from rotation (0 = disabled)")
+		breakerCool   = flag.Duration("breaker-cooldown", 0, "how long an ejected upstream stays out before probing (0 = 30s default)")
 	)
 	flag.Parse()
 
@@ -85,6 +95,35 @@ func main() {
 	sim := llm.NewSim(p, g.Vocab, g.Classes, *seed)
 	sim.SetObserver(reg)
 	var served llm.Predictor = sim
+	if *upstreams != "" {
+		// Multi-upstream mode: fan requests across N OpenAI-compatible
+		// backends through the replica pool (power-of-two-choices
+		// routing, per-upstream breakers, optional hedging). The local
+		// simulator is not used.
+		var backends []llm.Predictor
+		for _, u := range strings.Split(*upstreams, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			hp, err := llm.NewHTTPPredictor(llm.HTTPConfig{BaseURL: u, Model: *upstreamModel})
+			if err != nil {
+				log.Fatalf("llmserve: upstream %q: %v", u, err)
+			}
+			backends = append(backends, hp)
+		}
+		pl, err := pool.New(backends, pool.Config{
+			Hedge:      *hedge,
+			HedgeAfter: *hedgeAfter,
+			Breaker:    batch.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCool},
+			Obs:        reg,
+		})
+		if err != nil {
+			log.Fatalf("llmserve: building upstream pool: %v", err)
+		}
+		served = pl
+		fmt.Printf("llmserve: pooling %d upstreams (hedge=%v)\n", pl.Size(), *hedge)
+	}
 	if *cacheDir != "" {
 		// Server-side persistent cache: repeated prompts answer from disk
 		// without touching the simulator, across restarts.
@@ -95,7 +134,7 @@ func main() {
 			log.Fatalf("llmserve: opening prompt cache: %v", err)
 		}
 		defer pcache.Close()
-		served = promptcache.Wrap(sim, pcache)
+		served = promptcache.Wrap(served, pcache)
 	}
 	h := llm.NewHandler(served)
 	h.RequireKey = *apiKey

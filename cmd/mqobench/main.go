@@ -14,32 +14,43 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/promptcache"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "mqobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from
+// args, experiment output goes to stdout, diagnostics to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mqobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp         = flag.String("exp", "", "experiment id (or 'all')")
-		seed        = flag.Uint64("seed", 1, "deterministic seed")
-		seeds       = flag.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
-		fast        = flag.Bool("fast", false, "reduced datasets/queries for a quick pass")
-		workers     = flag.Int("workers", 1, "concurrent LLM queries during plan execution (outputs are identical for any value)")
-		qps         = flag.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
-		qTimeout    = flag.Duration("query-timeout", 0, "per-query deadline during plan execution (0 = none; the faults experiment defaults to 50ms)")
-		cacheDir    = flag.String("cache-dir", "", "persistent prompt-cache directory shared by all experiments (empty = no disk cache)")
-		cacheMax    = flag.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
-		cacheTTL    = flag.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
-		list        = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut     = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
-		metricsDump = flag.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
-		metricsJSON = flag.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
+		exp         = fs.String("exp", "", "experiment id (or 'all')")
+		seed        = fs.Uint64("seed", 1, "deterministic seed")
+		seeds       = fs.Int("seeds", 1, "repeat each experiment under this many consecutive seeds")
+		fast        = fs.Bool("fast", false, "reduced datasets/queries for a quick pass")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		jsonOut     = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
+		metricsDump = fs.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
+		metricsJSON = fs.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
 	)
-	flag.Parse()
+	var ex cliflags.Exec
+	ex.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Installed as the process default so the experiment internals
 	// (plan execution, boosting, the simulator) record token and query
@@ -48,22 +59,20 @@ func main() {
 	if *metricsDump || *metricsJSON != "" {
 		reg = obs.NewRegistry()
 		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "mqobench: -exp is required (use -list to see ids)")
-		os.Exit(2)
+		return fmt.Errorf("-exp is required (use -list to see ids)")
 	}
-
 	if *seeds < 1 {
-		fmt.Fprintln(os.Stderr, "mqobench: -seeds must be >= 1")
-		os.Exit(2)
+		return fmt.Errorf("-seeds must be >= 1")
 	}
 	var toRun []experiments.Experiment
 	if *exp == "all" {
@@ -71,8 +80,7 @@ func main() {
 	} else {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mqobench: unknown experiment %q; known: %v\n", *exp, experiments.IDs())
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q; known: %v", *exp, experiments.IDs())
 		}
 		toRun = []experiments.Experiment{e}
 	}
@@ -81,30 +89,35 @@ func main() {
 	// (model identity + sim seed + template version) keep their entries
 	// disjoint, and a repeated bench run answers from disk.
 	var pcache *promptcache.Cache
-	if *cacheDir != "" {
-		ccfg := promptcache.Config{MaxBytes: *cacheMax, TTL: *cacheTTL}
+	if ex.CacheDir != "" {
+		ccfg := promptcache.Config{MaxBytes: ex.CacheMaxBytes, TTL: ex.CacheTTL}
 		if reg != nil {
 			ccfg.Obs = reg
 		}
 		var err error
-		pcache, err = promptcache.Open(*cacheDir, ccfg)
+		pcache, err = promptcache.Open(ex.CacheDir, ccfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mqobench: opening prompt cache: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("opening prompt cache: %w", err)
 		}
 		defer pcache.Close()
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	for _, e := range toRun {
 		for rep := 0; rep < *seeds; rep++ {
 			s := *seed + uint64(rep)
-			cfg := experiments.Config{Seed: s, Fast: *fast, Workers: *workers, QPS: *qps, QueryTimeout: *qTimeout, Disk: pcache}
+			cfg := experiments.Config{
+				Seed: s, Fast: *fast,
+				Workers: ex.Workers, QPS: ex.QPS, QueryTimeout: ex.QueryTimeout,
+				Disk:     pcache,
+				Breaker:  ex.BreakerConfig(),
+				Replicas: ex.Replicas,
+				Hedge:    ex.Hedge, HedgeAfter: ex.HedgeAfter,
+			}
 			start := time.Now()
 			out, err := e.Run(cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mqobench: %s (seed %d) failed: %v\n", e.ID, s, err)
-				os.Exit(1)
+				return fmt.Errorf("%s (seed %d) failed: %w", e.ID, s, err)
 			}
 			if *jsonOut {
 				if err := enc.Encode(map[string]any{
@@ -115,8 +128,7 @@ func main() {
 					"seconds": time.Since(start).Seconds(),
 					"output":  out,
 				}); err != nil {
-					fmt.Fprintf(os.Stderr, "mqobench: encoding %s: %v\n", e.ID, err)
-					os.Exit(1)
+					return fmt.Errorf("encoding %s: %w", e.ID, err)
 				}
 				continue
 			}
@@ -124,29 +136,27 @@ func main() {
 			if *seeds > 1 {
 				label = fmt.Sprintf("%s (seed %d)", e.ID, s)
 			}
-			fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", label, e.Title, time.Since(start).Seconds(), out)
+			fmt.Fprintf(stdout, "== %s: %s (%.1fs)\n\n%s\n", label, e.Title, time.Since(start).Seconds(), out)
 		}
 	}
 
 	if reg != nil {
 		if *metricsDump {
-			fmt.Println("== metrics")
-			if err := reg.WritePrometheus(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "mqobench: writing metrics: %v\n", err)
-				os.Exit(1)
+			fmt.Fprintln(stdout, "== metrics")
+			if err := reg.WritePrometheus(stdout); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
 			}
 		}
 		if *metricsJSON != "" {
 			data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mqobench: encoding metrics: %v\n", err)
-				os.Exit(1)
+				return fmt.Errorf("encoding metrics: %w", err)
 			}
 			if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "mqobench: writing %s: %v\n", *metricsJSON, err)
-				os.Exit(1)
+				return fmt.Errorf("writing %s: %w", *metricsJSON, err)
 			}
-			fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metricsJSON)
+			fmt.Fprintf(stderr, "metrics snapshot written to %s\n", *metricsJSON)
 		}
 	}
+	return nil
 }

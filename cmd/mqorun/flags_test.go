@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/cliflags"
+)
+
+// TestUsageCoversSharedExecFlags pins the CLI-parity contract: every
+// flag in the shared execution group (internal/cliflags) is registered
+// here, so mqorun and mqobench never drift apart again the way the
+// missing -breaker/-breaker-cooldown flags did.
+func TestUsageCoversSharedExecFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	usage := stderr.String()
+	for _, name := range cliflags.Names() {
+		if !strings.Contains(usage, "-"+name) {
+			t.Errorf("usage text is missing shared flag -%s", name)
+		}
+	}
+}
+
+// TestSharedExecFlagsParse asserts the shared flags are not just
+// printed but actually accepted (a bad value must fail, a good one must
+// reach execution).
+func TestSharedExecFlagsParse(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-dataset", "cora", "-scale", "0.05", "-queries", "5",
+		"-workers", "2", "-replicas", "3", "-hedge", "-hedge-after", "1ms",
+		"-breaker", "3", "-breaker-cooldown", "1s", "-query-timeout", "5s",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run with full shared flag set: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if err := run([]string{"-breaker", "not-a-number"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -breaker value parsed anyway")
+	}
+}

@@ -61,6 +61,16 @@ func TestGoldenOutput(t *testing.T) {
 		"warm-8-workers": {"-cache-dir", cacheDir, "-workers", "8"},
 		"cold-8-workers": {"-cache-dir", t.TempDir(), "-workers", "8"},
 		"no-cache":       nil,
+		// The replica pool routes, it never rewrites: any replica count,
+		// hedging on or off, must reproduce the same bytes. The warm
+		// pooled row additionally pins identity transparency — pooling N
+		// slots of one simulator keeps the promptcache namespace, so the
+		// single-replica cache stays warm. -hedge-after 1ns makes the
+		// hedge timer fire on effectively every query.
+		"1-replica":       {"-replicas", "1"},
+		"3-replicas":      {"-replicas", "3", "-workers", "8"},
+		"3-hedged":        {"-replicas", "3", "-hedge", "-hedge-after", "1ns", "-workers", "8"},
+		"3-replicas-warm": {"-cache-dir", cacheDir, "-replicas", "3"},
 	} {
 		if got := runMain(t, extra...); got != string(want) {
 			t.Errorf("%s run diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)

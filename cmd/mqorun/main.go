@@ -20,7 +20,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/batch"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -70,22 +70,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget      = fs.Float64("budget", 0, "input-token budget B (0 = unlimited)")
 		boost       = fs.Bool("boost", false, "apply query boosting")
 		m           = fs.Int("m", 4, "max neighbors per prompt")
-		workers     = fs.Int("workers", 1, "concurrent LLM queries (results are identical for any value)")
-		qps         = fs.Float64("qps", 0, "max queries per second across all workers (0 = unlimited)")
-		qTimeout    = fs.Duration("query-timeout", 0, "per-query deadline; hung calls are abandoned (0 = none)")
-		breakerN    = fs.Int("breaker", 0, "consecutive transient failures that open the circuit breaker (0 = disabled)")
-		breakerCool = fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = 30s default)")
 		fallback    = fs.Bool("fallback", false, "answer permanently-failed queries with the surrogate classifier")
 		faultErr    = fs.Float64("fault-error", 0, "chaos: fraction of prompts that fail with an injected 503")
 		faultHang   = fs.Float64("fault-hang", 0, "chaos: fraction of prompts that hang until the query timeout")
 		faultGarble = fs.Float64("fault-garbage", 0, "chaos: fraction of prompts answered off-template")
-		cacheDir    = fs.String("cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
-		cacheMax    = fs.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
-		cacheTTL    = fs.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
 		savePlan    = fs.String("save-plan", "", "write the optimized plan to this JSON file")
 		metricsDump = fs.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
 		metricsJSON = fs.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
 	)
+	var ex cliflags.Exec
+	ex.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -165,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var pred llm.Predictor = sim
 	var injector *llm.FaultInjector
 	if *faultErr > 0 || *faultHang > 0 || *faultGarble > 0 {
-		if *faultHang > 0 && *qTimeout <= 0 {
+		if *faultHang > 0 && ex.QueryTimeout <= 0 {
 			return fmt.Errorf("-fault-hang requires -query-timeout, or hung prompts block forever")
 		}
 		injector, err = llm.NewFaultInjector(sim, llm.FaultConfig{
@@ -179,23 +173,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		pred = injector
 	}
+	if ex.Hedge && ex.Replicas < 2 {
+		fmt.Fprintln(stderr, "mqorun: -hedge has no effect with fewer than 2 replicas")
+	}
 	ecfg := core.ExecConfig{
-		Workers:      *workers,
-		QPS:          *qps,
-		QueryTimeout: *qTimeout,
-		Breaker:      batch.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCool},
+		Workers:      ex.Workers,
+		QPS:          ex.QPS,
+		QueryTimeout: ex.QueryTimeout,
+		Breaker:      ex.BreakerConfig(),
+		ReplicaCount: ex.Replicas,
+		Hedge:        ex.Hedge,
+		HedgeAfter:   ex.HedgeAfter,
 	}
 	// Persistent prompt cache: every stage below — baseline, inadequacy
 	// fitting, optimized run, boosting — shares the disk tier, and a
 	// repeated invocation with the same flags answers entirely from it.
 	var pcache *promptcache.Cache
 	var cacheNS string
-	if *cacheDir != "" {
-		ccfg := promptcache.Config{MaxBytes: *cacheMax, TTL: *cacheTTL}
+	if ex.CacheDir != "" {
+		ccfg := promptcache.Config{MaxBytes: ex.CacheMaxBytes, TTL: ex.CacheTTL}
 		if reg != nil {
 			ccfg.Obs = reg
 		}
-		pcache, err = promptcache.Open(*cacheDir, ccfg)
+		pcache, err = promptcache.Open(ex.CacheDir, ccfg)
 		if err != nil {
 			return fmt.Errorf("opening prompt cache: %w", err)
 		}
@@ -229,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Baseline.
 	// The worker count goes to stderr: results are identical for any
 	// -workers value, and stdout stays byte-comparable across runs.
-	fmt.Fprintf(stderr, "concurrency: %d workers\n", *workers)
+	fmt.Fprintf(stderr, "concurrency: %d workers\n", ex.Workers)
 	fmt.Fprintf(stdout, "running baseline %s over %d queries...\n", method.Name(), len(split.Query))
 	base, err := core.ExecuteWith(newCtx(), method, pred, core.Plan{Queries: split.Query}, ecfg)
 	if err := tolerate("baseline", err); err != nil {

@@ -145,7 +145,7 @@ type Result struct {
 type Executor struct {
 	p   llm.Predictor
 	cfg Config
-	brk *breaker // nil when the breaker is disabled
+	brk *Breaker // nil when the breaker is disabled
 
 	mu     sync.Mutex
 	cache  map[string]llm.Response
@@ -192,7 +192,7 @@ func New(p llm.Predictor, cfg Config) (*Executor, error) {
 	if cfg.Disk != nil && cfg.CacheNamespace == "" {
 		cfg.CacheNamespace = promptcache.Namespace(p)
 	}
-	e := &Executor{p: p, cfg: cfg, brk: newBreaker(cfg.Breaker, cfg.Obs)}
+	e := &Executor{p: p, cfg: cfg, brk: NewBreaker(cfg.Breaker, cfg.Obs)}
 	if cfg.Cache || cfg.Disk != nil {
 		e.cache = make(map[string]llm.Response)
 		e.flight = make(map[string]*flightCall)
@@ -477,7 +477,7 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 		// fast, leaving graceful degradation (surrogate fallback) to the
 		// caller instead of queuing behind a backend presumed down.
 		if e.brk != nil {
-			if err := e.brk.allow(); err != nil {
+			if err := e.brk.Allow(); err != nil {
 				e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt - 1, Error: err.Error()})
 				return Outcome{Err: err, Attempts: attempt - 1}, "rejected"
 			}
@@ -561,14 +561,14 @@ func (e *Executor) diskGet(prompt string) (llm.Response, bool) {
 // reportBreaker feeds a call outcome to the breaker when one exists.
 func (e *Executor) reportBreaker(success bool) {
 	if e.brk != nil {
-		e.brk.report(success)
+		e.brk.Report(success)
 	}
 }
 
 // cancelBreaker releases an admitted request without a health verdict.
 func (e *Executor) cancelBreaker() {
 	if e.brk != nil {
-		e.brk.cancel()
+		e.brk.Cancel()
 	}
 }
 

@@ -63,12 +63,16 @@ func (s BreakerState) String() string {
 	}
 }
 
-// breaker is the classic three-state circuit breaker. All transitions
-// happen under the mutex; the clock is injectable for tests.
-type breaker struct {
-	cfg BreakerConfig
-	rec obs.Recorder
-	now func() time.Time
+// Breaker is the classic three-state circuit breaker. All transitions
+// happen under the mutex; the clock is injectable for tests. It is
+// exported so layers above the executor — notably the replica pool,
+// which runs one Breaker per backend — reuse the exact state machine
+// (and metrics) that guards the single-predictor path.
+type Breaker struct {
+	cfg    BreakerConfig
+	rec    obs.Recorder
+	now    func() time.Time
+	labels []string // static metric labels (e.g. replica id)
 
 	mu        sync.Mutex
 	state     BreakerState
@@ -78,8 +82,12 @@ type breaker struct {
 	openedAt  time.Time
 }
 
-// newBreaker returns nil when the config disables the breaker.
-func newBreaker(cfg BreakerConfig, rec obs.Recorder) *breaker {
+// NewBreaker returns nil when the config disables the breaker; callers
+// keep the nil check (as the executor does). labels are static
+// alternating key/value pairs appended to every metric the breaker
+// emits, so several breakers (one per pool replica) stay
+// distinguishable in one registry.
+func NewBreaker(cfg BreakerConfig, rec obs.Recorder, labels ...string) *Breaker {
 	if cfg.Threshold <= 0 {
 		return nil
 	}
@@ -89,29 +97,29 @@ func newBreaker(cfg BreakerConfig, rec obs.Recorder) *breaker {
 	if cfg.HalfOpenProbes <= 0 {
 		cfg.HalfOpenProbes = 1
 	}
-	return &breaker{cfg: cfg, rec: obs.Active(rec), now: time.Now}
+	return &Breaker{cfg: cfg, rec: obs.Active(rec), now: time.Now, labels: labels}
 }
 
 // transition moves the breaker to a new state and emits the metrics.
 // Caller holds the mutex.
-func (b *breaker) transition(to BreakerState) {
+func (b *Breaker) transition(to BreakerState) {
 	b.state = to
-	b.rec.Set(metricBreakerState, float64(to))
-	b.rec.Add(metricBreakerTransitions, 1, "to", to.String())
+	b.rec.Set(metricBreakerState, float64(to), b.labels...)
+	b.rec.Add(metricBreakerTransitions, 1, append([]string{"to", to.String()}, b.labels...)...)
 }
 
 // State reports the current position (resolving an elapsed cooldown
-// lazily, as allow would).
-func (b *breaker) State() BreakerState {
+// lazily, as Allow would).
+func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
 }
 
-// allow decides whether a request may reach the predictor. It returns
+// Allow decides whether a request may reach the predictor. It returns
 // ErrCircuitOpen for requests rejected while the circuit is open (or
 // while a half-open probe is already in flight).
-func (b *breaker) allow() error {
+func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -119,7 +127,7 @@ func (b *breaker) allow() error {
 		return nil
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			b.rec.Add(metricBreakerRejections, 1)
+			b.rec.Add(metricBreakerRejections, 1, b.labels...)
 			return ErrCircuitOpen
 		}
 		// Cooldown over: admit this request as the first probe.
@@ -129,7 +137,7 @@ func (b *breaker) allow() error {
 		return nil
 	default: // half-open
 		if b.probing {
-			b.rec.Add(metricBreakerRejections, 1)
+			b.rec.Add(metricBreakerRejections, 1, b.labels...)
 			return ErrCircuitOpen
 		}
 		b.probing = true
@@ -137,11 +145,11 @@ func (b *breaker) allow() error {
 	}
 }
 
-// cancel releases an admitted request without judging the backend:
+// Cancel releases an admitted request without judging the backend:
 // the call never completed for a reason unrelated to backend health
 // (batch canceled, client-side 4xx). A half-open probe slot is freed
 // so the next request can probe instead.
-func (b *breaker) cancel() {
+func (b *Breaker) Cancel() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerHalfOpen {
@@ -149,11 +157,11 @@ func (b *breaker) cancel() {
 	}
 }
 
-// report feeds one predictor-call outcome back into the state machine.
+// Report feeds one predictor-call outcome back into the state machine.
 // Only transient failures count toward opening: a 4xx client error is
 // the request's fault, not the backend's, and must not trip the
 // circuit (callers skip report for those).
-func (b *breaker) report(success bool) {
+func (b *Breaker) Report(success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {

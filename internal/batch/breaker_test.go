@@ -13,9 +13,9 @@ import (
 )
 
 // clockBreaker returns a breaker with a settable fake clock.
-func clockBreaker(t *testing.T, cfg BreakerConfig) (*breaker, *time.Time) {
+func clockBreaker(t *testing.T, cfg BreakerConfig) (*Breaker, *time.Time) {
 	t.Helper()
-	b := newBreaker(cfg, nil)
+	b := NewBreaker(cfg, nil)
 	if b == nil {
 		t.Fatalf("breaker disabled by config %+v", cfg)
 	}
@@ -27,62 +27,62 @@ func clockBreaker(t *testing.T, cfg BreakerConfig) (*breaker, *time.Time) {
 func TestBreakerOpensAfterThreshold(t *testing.T) {
 	b, _ := clockBreaker(t, BreakerConfig{Threshold: 3, Cooldown: time.Minute})
 	for i := 0; i < 2; i++ {
-		if err := b.allow(); err != nil {
+		if err := b.Allow(); err != nil {
 			t.Fatalf("closed breaker rejected request %d: %v", i, err)
 		}
-		b.report(false)
+		b.Report(false)
 		if b.State() != BreakerClosed {
 			t.Fatalf("opened after %d failures, threshold 3", i+1)
 		}
 	}
 	// A success resets the consecutive count.
-	b.report(true)
-	b.report(false)
-	b.report(false)
+	b.Report(true)
+	b.Report(false)
+	b.Report(false)
 	if b.State() != BreakerClosed {
 		t.Fatal("opened although success reset the failure streak")
 	}
-	b.report(false)
+	b.Report(false)
 	if b.State() != BreakerOpen {
 		t.Fatal("did not open at 3 consecutive failures")
 	}
-	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("open breaker admitted a request: %v", err)
 	}
 }
 
 func TestBreakerHalfOpenProbes(t *testing.T) {
 	b, now := clockBreaker(t, BreakerConfig{Threshold: 1, Cooldown: time.Minute, HalfOpenProbes: 2})
-	b.report(false)
+	b.Report(false)
 	if b.State() != BreakerOpen {
 		t.Fatal("threshold 1 did not open on first failure")
 	}
 	// Before the cooldown: still rejecting.
 	*now = now.Add(30 * time.Second)
-	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("rejected during cooldown, got %v", err)
 	}
 	// After the cooldown: one probe admitted, concurrent requests still
 	// rejected while it is in flight.
 	*now = now.Add(31 * time.Second)
-	if err := b.allow(); err != nil {
+	if err := b.Allow(); err != nil {
 		t.Fatalf("post-cooldown probe rejected: %v", err)
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state %v, want half-open", b.State())
 	}
-	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("second in-flight probe admitted: %v", err)
 	}
 	// First probe succeeds; needs one more before closing.
-	b.report(true)
+	b.Report(true)
 	if b.State() != BreakerHalfOpen {
 		t.Fatal("closed after 1 probe success, want 2")
 	}
-	if err := b.allow(); err != nil {
+	if err := b.Allow(); err != nil {
 		t.Fatalf("second probe rejected: %v", err)
 	}
-	b.report(true)
+	b.Report(true)
 	if b.State() != BreakerClosed {
 		t.Fatal("did not close after 2 probe successes")
 	}
@@ -90,43 +90,43 @@ func TestBreakerHalfOpenProbes(t *testing.T) {
 
 func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	b, now := clockBreaker(t, BreakerConfig{Threshold: 1, Cooldown: time.Second})
-	b.report(false)
+	b.Report(false)
 	*now = now.Add(2 * time.Second)
-	if err := b.allow(); err != nil {
+	if err := b.Allow(); err != nil {
 		t.Fatalf("probe rejected: %v", err)
 	}
-	b.report(false)
+	b.Report(false)
 	if b.State() != BreakerOpen {
 		t.Fatal("failed probe did not reopen the circuit")
 	}
 	// The fresh open period starts at the probe failure, not the
 	// original trip.
-	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("reopened breaker admitted a request: %v", err)
 	}
 }
 
 func TestBreakerCancelFreesProbeSlot(t *testing.T) {
 	b, now := clockBreaker(t, BreakerConfig{Threshold: 1, Cooldown: time.Second})
-	b.report(false)
+	b.Report(false)
 	*now = now.Add(2 * time.Second)
-	if err := b.allow(); err != nil {
+	if err := b.Allow(); err != nil {
 		t.Fatalf("probe rejected: %v", err)
 	}
 	// The probe is aborted for reasons unrelated to backend health; the
 	// slot must free up or the breaker deadlocks in half-open forever.
-	b.cancel()
-	if err := b.allow(); err != nil {
+	b.Cancel()
+	if err := b.Allow(); err != nil {
 		t.Fatalf("slot not freed after cancel: %v", err)
 	}
-	b.report(true)
+	b.Report(true)
 	if b.State() != BreakerClosed {
 		t.Fatalf("state %v after successful probe, want closed", b.State())
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	if b := newBreaker(BreakerConfig{}, nil); b != nil {
+	if b := NewBreaker(BreakerConfig{}, nil); b != nil {
 		t.Fatal("zero config built a live breaker")
 	}
 	e, err := New(newScripted(), Config{Workers: 1})
@@ -330,21 +330,21 @@ func TestQueryTimeoutTripsBreaker(t *testing.T) {
 
 func TestBreakerConcurrentRace(t *testing.T) {
 	// Hammer one breaker from many goroutines; run with -race.
-	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Microsecond}, nil)
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Microsecond}, nil)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
 			for j := 0; j < 500; j++ {
-				if err := b.allow(); err == nil {
+				if err := b.Allow(); err == nil {
 					switch j % 3 {
 					case 0:
-						b.report(true)
+						b.Report(true)
 					case 1:
-						b.report(false)
+						b.Report(false)
 					default:
-						b.cancel()
+						b.Cancel()
 					}
 				}
 				_ = b.State()

@@ -1,0 +1,63 @@
+// Package cliflags defines the execution-layer flag group shared by
+// the mqorun and mqobench commands: concurrency, rate limiting,
+// per-query deadlines, the circuit breaker, the replica pool and the
+// persistent prompt cache. Registering one group from one place keeps
+// the two CLIs' flags in lockstep — mqobench once silently lacked the
+// -breaker flags mqorun had, and the parity test over Names() makes
+// that class of drift a test failure instead of a support question.
+package cliflags
+
+import (
+	"flag"
+
+	"time"
+
+	"repro/internal/batch"
+)
+
+// Exec holds the shared execution flags after parsing.
+type Exec struct {
+	Workers         int
+	QPS             float64
+	QueryTimeout    time.Duration
+	Breaker         int
+	BreakerCooldown time.Duration
+	Replicas        int
+	Hedge           bool
+	HedgeAfter      time.Duration
+	CacheDir        string
+	CacheMaxBytes   int64
+	CacheTTL        time.Duration
+}
+
+// Register installs the shared flag group on fs. Call before
+// fs.Parse; the receiver's fields carry the parsed values afterwards.
+func (e *Exec) Register(fs *flag.FlagSet) {
+	fs.IntVar(&e.Workers, "workers", 1, "concurrent LLM queries (results are identical for any value)")
+	fs.Float64Var(&e.QPS, "qps", 0, "max queries per second across all workers (0 = unlimited)")
+	fs.DurationVar(&e.QueryTimeout, "query-timeout", 0, "per-query deadline; hung calls are abandoned (0 = none)")
+	fs.IntVar(&e.Breaker, "breaker", 0, "consecutive transient failures that open the circuit breaker (0 = disabled)")
+	fs.DurationVar(&e.BreakerCooldown, "breaker-cooldown", 0, "how long the breaker stays open before probing (0 = 30s default)")
+	fs.IntVar(&e.Replicas, "replicas", 1, "replica slots in the predictor pool; > 1 enables health-aware routing with one breaker per replica")
+	fs.BoolVar(&e.Hedge, "hedge", false, "race a second replica when the first outlives -hedge-after (needs -replicas > 1)")
+	fs.DurationVar(&e.HedgeAfter, "hedge-after", 0, "hedge trigger delay (0 = 50ms default)")
+	fs.StringVar(&e.CacheDir, "cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
+	fs.Int64Var(&e.CacheMaxBytes, "cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
+	fs.DurationVar(&e.CacheTTL, "cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
+}
+
+// Names lists every flag Register installs. The CLI parity test
+// asserts each command's usage text mentions all of them.
+func Names() []string {
+	return []string{
+		"workers", "qps", "query-timeout",
+		"breaker", "breaker-cooldown",
+		"replicas", "hedge", "hedge-after",
+		"cache-dir", "cache-max-bytes", "cache-ttl",
+	}
+}
+
+// BreakerConfig lowers the breaker flags into the batch configuration.
+func (e *Exec) BreakerConfig() batch.BreakerConfig {
+	return batch.BreakerConfig{Threshold: e.Breaker, Cooldown: e.BreakerCooldown}
+}

@@ -1,0 +1,76 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestRegisterParses drives every shared flag through a real FlagSet
+// and checks the parsed values land in the struct.
+func TestRegisterParses(t *testing.T) {
+	var e Exec
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	e.Register(fs)
+	args := []string{
+		"-workers", "8", "-qps", "2.5", "-query-timeout", "250ms",
+		"-breaker", "3", "-breaker-cooldown", "5s",
+		"-replicas", "4", "-hedge", "-hedge-after", "20ms",
+		"-cache-dir", "/tmp/c", "-cache-max-bytes", "1024", "-cache-ttl", "1h",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse(%v): %v", args, err)
+	}
+	want := Exec{
+		Workers: 8, QPS: 2.5, QueryTimeout: 250 * time.Millisecond,
+		Breaker: 3, BreakerCooldown: 5 * time.Second,
+		Replicas: 4, Hedge: true, HedgeAfter: 20 * time.Millisecond,
+		CacheDir: "/tmp/c", CacheMaxBytes: 1024, CacheTTL: time.Hour,
+	}
+	if e != want {
+		t.Errorf("parsed %+v, want %+v", e, want)
+	}
+	bc := e.BreakerConfig()
+	if bc.Threshold != 3 || bc.Cooldown != 5*time.Second {
+		t.Errorf("BreakerConfig() = %+v", bc)
+	}
+}
+
+// TestNamesMatchesRegister pins Names() to the flags Register actually
+// installs — the list the CLI parity test trusts.
+func TestNamesMatchesRegister(t *testing.T) {
+	var e Exec
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	e.Register(fs)
+	var installed []string
+	fs.VisitAll(func(f *flag.Flag) { installed = append(installed, f.Name) })
+	sort.Strings(installed)
+	names := Names()
+	sort.Strings(names)
+	if len(installed) != len(names) {
+		t.Fatalf("Register installs %v, Names() says %v", installed, names)
+	}
+	for i := range names {
+		if names[i] != installed[i] {
+			t.Fatalf("Register installs %v, Names() says %v", installed, names)
+		}
+	}
+}
+
+// TestDefaults pins the zero-config behaviour: serial execution, no
+// breaker, a single replica, no hedging, no cache.
+func TestDefaults(t *testing.T) {
+	var e Exec
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	e.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := Exec{Workers: 1, Replicas: 1}
+	if e != want {
+		t.Errorf("defaults = %+v, want %+v", e, want)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/predictors"
 	"repro/internal/promptcache"
 	"repro/internal/tag"
@@ -224,6 +225,53 @@ type ExecConfig struct {
 	// them in QueryErrors. Fallback answers are marked in
 	// Results.Fallback.
 	Fallback *Surrogate
+	// Replicas, when non-empty, fans the plan's queries across these
+	// backends through the replica pool (health-aware routing,
+	// per-replica breakers) instead of querying the primary predictor
+	// directly. Breaker then configures the per-replica breakers; no
+	// global breaker runs.
+	Replicas []llm.Predictor
+	// ReplicaCount, when > 1 and Replicas is empty, pools the primary
+	// predictor itself as that many replica slots — useful for
+	// concurrency-safe predictors like *llm.Sim, where N slots model N
+	// interchangeable endpoints with independent health state.
+	ReplicaCount int
+	// Hedge enables hedged requests on the pool: a second replica is
+	// tried when the first has not answered within HedgeAfter, first
+	// answer wins. Requires pooling (Replicas or ReplicaCount).
+	Hedge bool
+	// HedgeAfter is the hedge trigger delay (default pool.DefaultHedgeAfter).
+	HedgeAfter time.Duration
+}
+
+// IsZero reports whether cfg is the zero configuration. ExecConfig
+// stopped being comparable when Replicas (a slice) was added, so the
+// idiomatic cfg == ExecConfig{} no longer compiles; keep this method in
+// sync with the field list.
+func (cfg ExecConfig) IsZero() bool {
+	return cfg.Workers == 0 && cfg.QPS == 0 && cfg.MaxRetries == 0 &&
+		cfg.RetryDelay == 0 && cfg.MaxRetryDelay == 0 && cfg.BudgetTokens == 0 &&
+		!cfg.Cache && cfg.Disk == nil && cfg.CacheNamespace == "" &&
+		cfg.QueryTimeout == 0 && cfg.Breaker == (batch.BreakerConfig{}) &&
+		cfg.Fallback == nil && len(cfg.Replicas) == 0 && cfg.ReplicaCount == 0 &&
+		!cfg.Hedge && cfg.HedgeAfter == 0
+}
+
+// replicaSet resolves the pool's backend list: the explicit Replicas
+// when given, ReplicaCount copies of the primary otherwise, nil when
+// pooling is off.
+func (cfg ExecConfig) replicaSet(p llm.Predictor) []llm.Predictor {
+	if len(cfg.Replicas) > 0 {
+		return cfg.Replicas
+	}
+	if cfg.ReplicaCount > 1 {
+		reps := make([]llm.Predictor, cfg.ReplicaCount)
+		for i := range reps {
+			reps[i] = p
+		}
+		return reps
+	}
+	return nil
 }
 
 // batchConfig translates an ExecConfig into the executor's config.
@@ -363,6 +411,22 @@ func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.No
 // executor. The returned timedPredictor is nil when instrumentation is
 // off.
 func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode string) (*batch.Executor, *timedPredictor, error) {
+	if reps := cfg.replicaSet(p); reps != nil {
+		pl, err := pool.New(reps, pool.Config{
+			Hedge:      cfg.Hedge,
+			HedgeAfter: cfg.HedgeAfter,
+			Breaker:    cfg.Breaker,
+			Obs:        rec,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: building replica pool: %w", err)
+		}
+		p = pl
+		// The per-replica breakers replace the executor's global one: a
+		// single dead replica must be ejected from rotation, not allowed
+		// to trip a breaker spanning the healthy ones.
+		cfg.Breaker = batch.BreakerConfig{}
+	}
 	var tp *timedPredictor
 	qp := p
 	if obs.Enabled(rec) {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/predictors"
 	"repro/internal/promptcache"
@@ -41,12 +42,32 @@ type Config struct {
 	// experiments sharing one directory cannot cross-contaminate, and a
 	// repeated run answers its repeated prompts from disk.
 	Disk *promptcache.Cache
+	// Breaker configures a circuit breaker around plan execution; the
+	// zero value disables it. With Replicas > 1 it configures the
+	// per-replica breakers instead of a global one.
+	Breaker batch.BreakerConfig
+	// Replicas, when > 1, fans queries across that many replica slots of
+	// the predictor through the health-aware pool. Experiment outputs
+	// are identical for any value (the simulator answers by prompt, not
+	// by replica).
+	Replicas int
+	// Hedge races a second replica when the first outlives HedgeAfter;
+	// effective only with Replicas > 1.
+	Hedge bool
+	// HedgeAfter is the hedge trigger delay; 0 means the pool default.
+	HedgeAfter time.Duration
 }
 
 // exec lowers the config's concurrency knobs for core.ExecuteWith and
 // core.BoostWith.
 func (cfg Config) exec() core.ExecConfig {
-	return core.ExecConfig{Workers: cfg.Workers, QPS: cfg.QPS, QueryTimeout: cfg.QueryTimeout, Disk: cfg.Disk}
+	return core.ExecConfig{
+		Workers: cfg.Workers, QPS: cfg.QPS, QueryTimeout: cfg.QueryTimeout, Disk: cfg.Disk,
+		Breaker:      cfg.Breaker,
+		ReplicaCount: cfg.Replicas,
+		Hedge:        cfg.Hedge,
+		HedgeAfter:   cfg.HedgeAfter,
+	}
 }
 
 // Experiment is one regenerable paper artifact.

@@ -1,0 +1,137 @@
+package pool
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// tailPred answers fast except for every slowEvery-th call on this
+// replica, which stalls for slow. Slowness is a property of the
+// replica-moment, not the prompt, so a hedge sent to a different
+// replica escapes the stall — exactly the failure mode hedging buys
+// back. The stall honors ctx, so a canceled loser releases promptly.
+type tailPred struct {
+	calls     atomic.Int64
+	slowEvery int64
+	fast      time.Duration
+	slow      time.Duration
+}
+
+func (p *tailPred) Name() string     { return "tail" }
+func (p *tailPred) Identity() string { return "tail/bench" }
+
+func (p *tailPred) Query(prompt string) (llm.Response, error) {
+	return p.QueryContext(context.Background(), prompt)
+}
+
+func (p *tailPred) QueryContext(ctx context.Context, prompt string) (llm.Response, error) {
+	d := p.fast
+	if n := p.calls.Add(1); p.slowEvery > 0 && n%p.slowEvery == 0 {
+		d = p.slow
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return llm.Response{Text: "ok", InputTokens: len(prompt), OutputTokens: 1}, nil
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+}
+
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	k := int(q * float64(len(s)-1))
+	return s[k]
+}
+
+// BenchmarkPoolHedgedTail measures the tail-latency win from hedging:
+// a single occasionally-stalling backend versus a 3-replica hedged
+// pool of the same backends. Every pass runs a fixed query count per
+// arm so the p99 is comparable across iterations; the final pass is
+// guarded (the hedged p99 must beat half the single-backend p99) and,
+// when MQO_BENCH_JSON names a file, appended to it as one JSON line
+// (the Makefile benchpool target points it at BENCH_pool.json).
+func BenchmarkPoolHedgedTail(b *testing.B) {
+	const (
+		queries    = 600
+		slowEvery  = 50 // ~2% of calls stall
+		fastLat    = 200 * time.Microsecond
+		slowLat    = 20 * time.Millisecond
+		hedgeAfter = 2 * time.Millisecond
+	)
+	mk := func() llm.Predictor {
+		return &tailPred{slowEvery: slowEvery, fast: fastLat, slow: slowLat}
+	}
+	measure := func(p llm.ContextPredictor) []time.Duration {
+		lats := make([]time.Duration, queries)
+		for i := range lats {
+			start := time.Now()
+			if _, err := p.QueryContext(context.Background(), fmt.Sprintf("q-%d", i)); err != nil {
+				b.Fatal(err)
+			}
+			lats[i] = time.Since(start)
+		}
+		return lats
+	}
+
+	var p99Single, p99Hedged time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		single, err := New([]llm.Predictor{mk()}, Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hedged, err := New([]llm.Predictor{mk(), mk(), mk()}, Config{
+			Hedge: true, HedgeAfter: hedgeAfter, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99Single = percentile(measure(single), 0.99)
+		p99Hedged = percentile(measure(hedged), 0.99)
+	}
+	b.StopTimer()
+
+	b.ReportMetric(float64(p99Single.Microseconds())/1e3, "p99-single-ms")
+	b.ReportMetric(float64(p99Hedged.Microseconds())/1e3, "p99-hedged-ms")
+	// The stall is 100x the fast path and hedges fire at 1/10th of the
+	// stall, so anything short of a 2x p99 win means hedging is broken.
+	if p99Hedged*2 >= p99Single {
+		b.Fatalf("hedging did not cut the tail: p99 single=%v hedged=%v", p99Single, p99Hedged)
+	}
+
+	if path := os.Getenv("MQO_BENCH_JSON"); path != "" {
+		line, err := json.Marshal(map[string]any{
+			"bench":          "BenchmarkPoolHedgedTail",
+			"queries":        queries,
+			"slow_every":     slowEvery,
+			"hedge_after_ms": float64(hedgeAfter.Microseconds()) / 1e3,
+			"p99_single_ms":  float64(p99Single.Microseconds()) / 1e3,
+			"p99_hedged_ms":  float64(p99Hedged.Microseconds()) / 1e3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

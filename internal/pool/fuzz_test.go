@@ -1,0 +1,122 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/llm"
+	"repro/internal/xrand"
+)
+
+// FuzzPoolPick drives the routing state machine with an arbitrary
+// sequence of outcomes — success, transient failure, client error,
+// cancellation — against a 3-replica pool with tight breakers, and
+// checks the structural invariants:
+//
+//   - pick never panics and never hands out a replica whose breaker
+//     is (still) open — an admitted replica is Closed or HalfOpen;
+//   - when pick refuses, the error is batch.ErrCircuitOpen and every
+//     replica really is ejected;
+//   - once the cooldown elapses and probes succeed, the pool always
+//     recovers: every replica closes again and picks flow.
+func FuzzPoolPick(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3, 0, 1, 1, 1, 0})
+	f.Add(uint64(42), []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint64(7), []byte{2, 2, 2, 0, 3, 3, 1, 0, 2})
+	f.Add(uint64(99), []byte{})
+
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		const cooldown = time.Millisecond
+		replicas := []llm.Predictor{
+			&fakePred{name: "r0", id: "x"},
+			&fakePred{name: "r1", id: "x"},
+			&fakePred{name: "r2", id: "x"},
+		}
+		pl, err := New(replicas, Config{
+			Breaker: batch.BreakerConfig{Threshold: 2, Cooldown: cooldown, HalfOpenProbes: 1},
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+		canceledCtx, cancel := context.WithCancel(context.Background())
+		cancel()
+		transient := errors.New("backend down")
+
+		for i, op := range ops {
+			r, idx, err := pl.pick(rng, -1)
+			if err != nil {
+				if !errors.Is(err, batch.ErrCircuitOpen) {
+					t.Fatalf("op %d: pick error = %v, want ErrCircuitOpen", i, err)
+				}
+				// Refusal must mean every replica is ejected right now.
+				for j, s := range pl.States() {
+					if s != batch.BreakerOpen {
+						t.Fatalf("op %d: pick refused but replica %d is %v", i, j, s)
+					}
+				}
+				// Let cooldowns elapse so later ops can probe.
+				time.Sleep(2 * cooldown)
+				continue
+			}
+			if idx < 0 || idx >= len(replicas) {
+				t.Fatalf("op %d: pick returned index %d", i, idx)
+			}
+			if s := r.brk.State(); s == batch.BreakerOpen {
+				t.Fatalf("op %d: pick admitted replica %d while its breaker is open", i, idx)
+			}
+			judge := func(ctx context.Context, outcome error) {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("op %d: judge panicked: %v", i, rec)
+					}
+				}()
+				pl.judge(ctx, r, outcome)
+			}
+			switch op % 4 {
+			case 0: // healthy answer
+				judge(context.Background(), nil)
+			case 1: // transient failure (5xx/transport): counts toward ejection
+				judge(context.Background(), transient)
+			case 2: // client-side 4xx: never trips the breaker
+				judge(context.Background(), &llm.APIError{StatusCode: 404, Message: "no"})
+			case 3: // canceled mid-flight: not the backend's fault
+				judge(canceledCtx, context.Canceled)
+			}
+		}
+
+		// Recovery: after the cooldown, successful probes must close
+		// every breaker and picks must flow again.
+		time.Sleep(2 * cooldown)
+		for i := 0; i < 200; i++ {
+			r, _, err := pl.pick(rng, -1)
+			if err != nil {
+				time.Sleep(cooldown)
+				continue
+			}
+			r.brk.Report(true)
+			allClosed := true
+			for _, s := range pl.States() {
+				if s != batch.BreakerClosed {
+					allClosed = false
+				}
+			}
+			if allClosed {
+				break
+			}
+		}
+		for j, s := range pl.States() {
+			if s != batch.BreakerClosed {
+				t.Fatalf("replica %d never recovered: state %v after healthy probes", j, s)
+			}
+		}
+		if _, _, err := pl.pick(rng, -1); err != nil {
+			t.Fatalf("pick still refusing after full recovery: %v", err)
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package pool fans queries across N interchangeable predictor
+// backends ("replicas") so that one slow or dead replica is no longer
+// the whole system's ceiling.
+//
+// Routing is health-aware: each replica carries an EWMA of its observed
+// latency and an in-flight counter, and every query picks between two
+// random candidates, taking the one with the lower latency×load score
+// (power-of-two-choices — near-optimal load spread without global
+// coordination). Each replica is guarded by its own circuit breaker
+// (the exact state machine the batch executor uses), so a dead backend
+// is ejected from rotation without tripping a global breaker; when
+// every replica is ejected the pool fails fast with
+// batch.ErrCircuitOpen, which the executor's retry/fallback machinery
+// already understands.
+//
+// Optionally the pool hedges: if the first replica has not answered
+// within HedgeAfter, the same prompt is sent to a second replica and
+// the first answer wins; the loser's context is canceled. Hedging
+// trades a bounded amount of duplicate work for a much shorter tail.
+//
+// Determinism contract: the pool routes, it never rewrites. With
+// llm.Sim-backed replicas sharing a seed, answers are keyed on
+// hash(seed, prompt), so plan outputs are bit-identical for any
+// replica count, hedging on or off — routing changes who answers,
+// never what is answered. DESIGN.md ("Hedging and determinism")
+// discusses why this holds.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// Metric names emitted by the pool; the full catalog lives in README.md
+// ("Observability").
+const (
+	metricPicks     = "mqo_pool_picks_total"
+	metricHedges    = "mqo_pool_hedges_total"
+	metricHedgeWins = "mqo_pool_hedge_wins_total"
+	metricEjected   = "mqo_pool_ejected_total"
+)
+
+// DefaultHedgeAfter is the hedge trigger delay when hedging is enabled
+// without an explicit HedgeAfter.
+const DefaultHedgeAfter = 50 * time.Millisecond
+
+// ewmaAlpha weights the newest latency sample in the per-replica EWMA.
+const ewmaAlpha = 0.3
+
+// Config tunes the pool. The zero value routes without breakers or
+// hedging.
+type Config struct {
+	// Hedge enables hedged requests: a second replica is tried when the
+	// first has not answered within HedgeAfter, and the first answer
+	// wins. Requires at least two replicas to have any effect.
+	Hedge bool
+	// HedgeAfter is how long the first attempt may run before the hedge
+	// fires (default DefaultHedgeAfter when Hedge is set).
+	HedgeAfter time.Duration
+	// Breaker configures the per-replica circuit breakers; the zero
+	// value disables them (every replica stays in rotation forever).
+	Breaker batch.BreakerConfig
+	// Seed drives the power-of-two-choices candidate picks
+	// deterministically (given a serial caller).
+	Seed uint64
+	// Obs receives the pool's metrics; nil routes to the process
+	// default.
+	Obs obs.Recorder
+}
+
+// replica is one backend plus its routing health state.
+type replica struct {
+	p     llm.Predictor
+	cp    llm.ContextPredictor // non-nil when p supports cancellation
+	brk   *batch.Breaker       // nil when breakers are disabled
+	label string
+
+	inflight atomic.Int64
+	ewma     atomic.Uint64 // float64 bits of the EWMA latency (seconds)
+}
+
+// observe folds one latency sample into the EWMA (lock-free CAS loop).
+func (r *replica) observe(seconds float64) {
+	for {
+		old := r.ewma.Load()
+		next := seconds
+		if old != 0 {
+			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*seconds
+		}
+		if r.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// score is the routing load estimate: EWMA latency scaled by queue
+// depth. Unobserved replicas score near zero, so fresh backends attract
+// their first queries immediately.
+func (r *replica) score() float64 {
+	lat := math.Float64frombits(r.ewma.Load())
+	if lat <= 0 {
+		lat = 1e-9
+	}
+	return lat * float64(r.inflight.Load()+1)
+}
+
+// Pool is an llm.ContextPredictor that routes every query to one of N
+// replica backends. It is safe for concurrent use.
+type Pool struct {
+	replicas []*replica
+	cfg      Config
+	rec      obs.Recorder
+	seq      atomic.Uint64
+	name     string
+	identity string
+}
+
+// New builds a pool over the given replicas. The same predictor value
+// may appear several times (e.g. one concurrency-safe *llm.Sim as N
+// replicas); each slot still gets its own breaker and health state.
+func New(replicas []llm.Predictor, cfg Config) (*Pool, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("pool: no replicas")
+	}
+	if cfg.Hedge && cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	rec := obs.Active(cfg.Obs)
+	p := &Pool{cfg: cfg, rec: rec, name: replicas[0].Name()}
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("pool: replica %d is nil", i)
+		}
+		rep := &replica{p: r, label: fmt.Sprintf("%d", i)}
+		if cp, ok := r.(llm.ContextPredictor); ok {
+			rep.cp = cp
+		}
+		rep.brk = batch.NewBreaker(cfg.Breaker, rec, "replica", rep.label)
+		p.replicas = append(p.replicas, rep)
+	}
+	p.identity = foldIdentity(replicas)
+	return p, nil
+}
+
+// foldIdentity derives the pool's answer-function identity from the
+// replica set. Replicas sharing one identity answer identically, so the
+// pool is transparent (same identity, same promptcache namespace — a
+// warm cache stays warm across replica counts). Distinct identities
+// mean the answer depends on routing, so the namespace must fold in the
+// whole sorted set.
+func foldIdentity(replicas []llm.Predictor) string {
+	set := make(map[string]bool, len(replicas))
+	ids := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		id := llm.IdentityOf(r)
+		if !set[id] {
+			set[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 1 {
+		return ids[0]
+	}
+	sort.Strings(ids)
+	return "pool(" + strings.Join(ids, "|") + ")"
+}
+
+// Name implements llm.Predictor.
+func (p *Pool) Name() string { return p.name }
+
+// Identity implements llm.Identifier; see foldIdentity.
+func (p *Pool) Identity() string { return p.identity }
+
+// Size reports the replica count.
+func (p *Pool) Size() int { return len(p.replicas) }
+
+// States reports each replica's breaker position (BreakerClosed for all
+// when breakers are disabled). Index i is replica i.
+func (p *Pool) States() []batch.BreakerState {
+	out := make([]batch.BreakerState, len(p.replicas))
+	for i, r := range p.replicas {
+		if r.brk != nil {
+			out[i] = r.brk.State()
+		}
+	}
+	return out
+}
+
+// pick chooses a replica by power-of-two-choices over the candidates
+// (every replica except exclude), then asks its breaker for admission.
+// If the chosen replica's breaker rejects, the remaining candidates are
+// scanned in index order; when every candidate is ejected, pick fails
+// with batch.ErrCircuitOpen.
+func (p *Pool) pick(rng *xrand.RNG, exclude int) (*replica, int, error) {
+	n := len(p.replicas)
+	m := n
+	if exclude >= 0 && exclude < n {
+		m = n - 1
+	}
+	if m <= 0 {
+		return nil, -1, batch.ErrCircuitOpen
+	}
+	// idx maps a candidate position in [0, m) to a replica index,
+	// skipping the excluded one.
+	idx := func(k int) int {
+		if exclude >= 0 && k >= exclude {
+			return k + 1
+		}
+		return k
+	}
+	a := rng.Intn(m)
+	chosen := idx(a)
+	if m > 1 {
+		b := rng.Intn(m - 1)
+		if b >= a {
+			b++ // shift past the first pick so the candidates differ
+		}
+		if cand := idx(b); p.replicas[cand].score() < p.replicas[chosen].score() {
+			chosen = cand
+		}
+	}
+	if r := p.replicas[chosen]; r.brk == nil || r.brk.Allow() == nil {
+		p.rec.Add(metricPicks, 1, "replica", r.label)
+		return r, chosen, nil
+	}
+	// The P2C winner is ejected: fall back to the first candidate whose
+	// breaker admits the request.
+	for k := 0; k < m; k++ {
+		i := idx(k)
+		if i == chosen {
+			continue
+		}
+		if r := p.replicas[i]; r.brk == nil || r.brk.Allow() == nil {
+			p.rec.Add(metricPicks, 1, "replica", r.label)
+			return r, i, nil
+		}
+	}
+	return nil, -1, batch.ErrCircuitOpen
+}
+
+// do runs one attempt on r, updating health state and feeding the
+// breaker. Cancellations (the caller gave up, or a hedge race was lost)
+// and client-side API errors do not count against the backend.
+func (p *Pool) do(ctx context.Context, r *replica, promptText string) (llm.Response, error) {
+	r.inflight.Add(1)
+	start := time.Now()
+	var resp llm.Response
+	var err error
+	if r.cp != nil {
+		resp, err = r.cp.QueryContext(ctx, promptText)
+	} else {
+		resp, err = r.p.Query(promptText)
+	}
+	r.inflight.Add(-1)
+	r.observe(time.Since(start).Seconds())
+	p.judge(ctx, r, err)
+	return resp, err
+}
+
+// judge translates one attempt outcome into a breaker verdict,
+// emitting the ejection metric when the verdict opens the circuit.
+func (p *Pool) judge(ctx context.Context, r *replica, err error) {
+	if r.brk == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		r.brk.Report(true)
+	case ctx.Err() != nil:
+		// Canceled or past its deadline: not the backend's fault.
+		r.brk.Cancel()
+	default:
+		var apiErr *llm.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 && apiErr.StatusCode != 429 {
+			// Client-side error: the request's fault, not the replica's.
+			r.brk.Cancel()
+			return
+		}
+		before := r.brk.State()
+		r.brk.Report(false)
+		if before != batch.BreakerOpen && r.brk.State() == batch.BreakerOpen {
+			p.rec.Add(metricEjected, 1, "replica", r.label)
+		}
+	}
+}
+
+// Query implements llm.Predictor.
+func (p *Pool) Query(promptText string) (llm.Response, error) {
+	return p.QueryContext(context.Background(), promptText)
+}
+
+// result is one attempt's outcome in a hedge race.
+type result struct {
+	resp  llm.Response
+	err   error
+	hedge bool
+}
+
+// QueryContext implements llm.ContextPredictor: pick a replica, run the
+// query, and — when hedging is on and the first attempt outlives
+// HedgeAfter — race a second replica against it. The first success
+// wins and the loser's context is canceled; the response is returned
+// exactly once, so callers (token meters, caches) never see duplicate
+// answers. When both attempts fail, the primary's error is returned.
+func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
+	rng := xrand.New(p.cfg.Seed ^ p.seq.Add(1))
+	first, firstIdx, err := p.pick(rng, -1)
+	if err != nil {
+		return llm.Response{}, err
+	}
+	if !p.cfg.Hedge || len(p.replicas) < 2 {
+		return p.do(ctx, first, promptText)
+	}
+
+	// Buffered to the maximum number of attempts: a losing goroutine
+	// completes its send and exits even after the winner returned, so a
+	// hedge race can never leak a goroutine.
+	ch := make(chan result, 2)
+	ctx1, cancel1 := context.WithCancel(ctx)
+	defer cancel1()
+	go func() {
+		resp, err := p.do(ctx1, first, promptText)
+		ch <- result{resp, err, false}
+	}()
+
+	timer := time.NewTimer(p.cfg.HedgeAfter)
+	defer timer.Stop()
+	timerC := timer.C
+
+	var cancel2 context.CancelFunc
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			second, _, perr := p.pick(rng, firstIdx)
+			if perr != nil {
+				// No healthy second replica; keep waiting on the first.
+				continue
+			}
+			p.rec.Add(metricHedges, 1)
+			var ctx2 context.Context
+			ctx2, cancel2 = context.WithCancel(ctx)
+			defer cancel2()
+			pending++
+			go func() {
+				resp, err := p.do(ctx2, second, promptText)
+				ch <- result{resp, err, true}
+			}()
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if r.hedge {
+					p.rec.Add(metricHedgeWins, 1)
+					cancel1()
+				} else if cancel2 != nil {
+					cancel2()
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if pending == 0 {
+				// Every launched attempt failed. Retries belong to the
+				// batch executor above, not the pool.
+				return llm.Response{}, firstErr
+			}
+		}
+	}
+}
+
+var (
+	_ llm.Predictor        = (*Pool)(nil)
+	_ llm.ContextPredictor = (*Pool)(nil)
+	_ llm.Identifier       = (*Pool)(nil)
+)

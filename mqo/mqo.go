@@ -180,6 +180,26 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before probing
 	// the backend again; 0 means the 30s default.
 	BreakerCooldown time.Duration
+	// Replicas, when > 1, fans queries across that many replica slots
+	// of the predictor through the health-aware pool: power-of-two-
+	// choices routing by EWMA latency and in-flight count, with one
+	// circuit breaker per replica (BreakerThreshold then configures the
+	// per-replica breakers; no global breaker runs). With the simulator
+	// — whose answers are keyed on hash(seed, prompt) — predictions are
+	// bit-identical for any replica count. To pool *distinct* backends
+	// (e.g. several HTTP endpoints), set ReplicaSet instead.
+	Replicas int
+	// ReplicaSet pools these explicit backends instead of replicating
+	// the primary predictor. Takes precedence over Replicas.
+	ReplicaSet []Predictor
+	// Hedge enables hedged requests on the replica pool: when the first
+	// replica has not answered within HedgeAfter, a second replica races
+	// it and the first answer wins (the loser is canceled). Effective
+	// only with Replicas > 1 or a ReplicaSet.
+	Hedge bool
+	// HedgeAfter is the hedge trigger delay; 0 means the pool default
+	// (50ms).
+	HedgeAfter time.Duration
 	// Fallback degrades instead of failing: queries whose LLM path
 	// failed permanently (timeout, open breaker, exhausted budget or
 	// retries) are answered by the paper's surrogate classifier f_θ1,
@@ -207,6 +227,10 @@ func (o Options) execConfig() core.ExecConfig {
 			Threshold: o.BreakerThreshold,
 			Cooldown:  o.BreakerCooldown,
 		},
+		Replicas:     o.ReplicaSet,
+		ReplicaCount: o.Replicas,
+		Hedge:        o.Hedge,
+		HedgeAfter:   o.HedgeAfter,
 	}
 }
 
@@ -319,7 +343,7 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 			if opt.Inadequacy != nil {
 				cfg = *opt.Inadequacy
 			}
-			if cfg.Exec == (core.ExecConfig{}) {
+			if cfg.Exec.IsZero() {
 				cfg.Exec = ecfg
 			}
 			fitSpan := rec.StartSpan("mqo.fit_inadequacy")

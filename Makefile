@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache check
+.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard check
 
 all: check
 
@@ -71,5 +71,17 @@ warmcache:
 	@grep -q mqo_cache_hits_total BENCH_cache.json || \
 		{ echo "warmcache: FAIL - no cache hits recorded"; exit 1; }
 	@echo "warmcache: warm run served entirely from cache (BENCH_cache.json)"
+
+# traceguard proves end-to-end latency attribution: a fully-traced
+# mqorun must produce, for every query, a ledger whose billed stages
+# cover >= 90% of the query's span, and an SLO report whose JSON a
+# strict consumer can parse. A generous 30s p99 objective makes the
+# -require-slo verdict deterministic on any CI machine.
+traceguard:
+	$(GO) run ./cmd/mqorun -dataset cora -scale 0.1 -queries 25 -seed 1 -workers 4 \
+		-trace-sample 1 -slo-latency-p99 30s \
+		-trace-json traceguard.json -metrics-json traceguard-metrics.json > /dev/null
+	$(GO) run ./cmd/traceguard -trace traceguard.json -require-slo
+	rm -f traceguard.json traceguard-metrics.json
 
 check: build vet test race

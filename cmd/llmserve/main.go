@@ -11,10 +11,12 @@
 //
 // Operational endpoints:
 //
-//	GET /metrics       Prometheus text-format metrics
-//	GET /healthz       JSON liveness (uptime, served requests)
-//	GET /debug/traces  last N request spans from the trace ring
-//	GET /debug/pprof/  runtime profiling (only with -pprof)
+//	GET /metrics           Prometheus text-format metrics
+//	GET /healthz           JSON liveness (uptime, served requests)
+//	GET /debug/traces      last N request spans from the trace ring
+//	GET /debug/querytrace  per-request span tree + stage ledger (?id=<trace>)
+//	GET /debug/slo         SLO pass/fail + error-budget burn (503 on fail)
+//	GET /debug/pprof/      runtime profiling (only with -pprof)
 //
 // Every request is logged as one structured JSON line (method, path,
 // status, latency, tokens) on stderr.
@@ -59,6 +61,9 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		traceCap  = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "request spans retained by /debug/traces")
 		accessLog = flag.Bool("access-log", true, "log one JSON line per request to stderr")
+		traceRate = flag.Float64("trace-sample", 1, "fraction of requests traced with span trees and ledgers (0 = none, 1 = all)")
+		sloP99    = flag.Duration("slo-latency-p99", 0, "p99 request-latency objective for /debug/slo (0 = disabled)")
+		slowQuery = flag.Duration("slow-query", 0, "log requests slower than this with their full stage breakdown (0 = disabled)")
 		cacheDir  = flag.String("cache-dir", "", "persistent prompt-cache directory; repeated prompts are served from disk across restarts (empty = no cache)")
 		cacheMax  = flag.Int64("cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
 		cacheTTL  = flag.Duration("cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
@@ -90,6 +95,13 @@ func main() {
 
 	reg := obs.NewRegistry()
 	reg.SetTraceCapacity(*traceCap)
+	reg.SetTraceSample(*traceRate)
+	if *sloP99 > 0 {
+		reg.SetSLO(obs.SLO{Name: "request_latency_p99", Objective: *sloP99, Percentile: 0.99})
+	}
+	if *slowQuery > 0 {
+		reg.SetSlowQueryLog(*slowQuery, obs.NewLogger(os.Stderr))
+	}
 	obs.SetDefault(reg)
 
 	sim := llm.NewSim(p, g.Vocab, g.Classes, *seed)
@@ -145,6 +157,8 @@ func main() {
 	mux.Handle(llm.ChatCompletionsPath, h)
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", obs.TraceHandler(reg))
+	mux.Handle("/debug/querytrace", obs.QueryTraceHandler(reg))
+	mux.Handle("/debug/slo", obs.SLOHandler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{

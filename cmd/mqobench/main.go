@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var reg *obs.Registry
 	if *metricsDump || *metricsJSON != "" {
 		reg = obs.NewRegistry()
+		ex.ApplyObs(reg)
 		obs.SetDefault(reg)
 		defer obs.SetDefault(nil)
 	}

@@ -77,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		savePlan    = fs.String("save-plan", "", "write the optimized plan to this JSON file")
 		metricsDump = fs.Bool("metrics-dump", false, "print the metrics registry (Prometheus text format) at exit")
 		metricsJSON = fs.String("metrics-json", "", "write the metrics registry snapshot to this JSON file at exit")
+		traceJSON   = fs.String("trace-json", "", "write the trace report (SLO verdict, stage aggregates, per-query ledgers) to this JSON file at exit")
 	)
 	var ex cliflags.Exec
 	ex.Register(fs)
@@ -87,8 +88,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// The registry is installed as the process default, so every layer
 	// (core execution, sim, facade) records without explicit wiring.
 	var reg *obs.Registry
-	if *metricsDump || *metricsJSON != "" {
+	if *metricsDump || *metricsJSON != "" || *traceJSON != "" {
 		reg = obs.NewRegistry()
+		ex.ApplyObs(reg)
+		if *traceJSON != "" {
+			// The trace report must cover every query of the run, not the
+			// last ring's worth.
+			reg.SetLedgerCapacity(1 << 16)
+		}
 		obs.SetDefault(reg)
 		defer obs.SetDefault(nil)
 	}
@@ -111,6 +118,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(stdout, "metrics snapshot written to %s\n", *metricsJSON)
+		}
+		if *traceJSON != "" {
+			data, err := json.MarshalIndent(reg.TraceReport(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*traceJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace report written to %s\n", *traceJSON)
 		}
 		return nil
 	}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEveryEmittedMetricIsDocumented runs an instrumented execution
+// that lights up every subsystem — replicas with hedging, a breaker,
+// a QPS limiter, the disk cache, fault injection with retries and the
+// surrogate fallback, boosting, tracing and the SLO engine — then
+// checks each metric family the live registry emitted has a row in
+// README.md's catalog. A new metric without documentation fails here,
+// not in a user's dashboard.
+func TestEveryEmittedMetricIsDocumented(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	args := []string{
+		"-dataset", "cora", "-scale", "0.1", "-queries", "25", "-seed", "1",
+		"-method", "sns", "-prune", "0.3", "-boost", "-fallback",
+		"-workers", "4", "-qps", "10000", "-query-timeout", "5s",
+		"-breaker", "50", "-breaker-cooldown", "10ms",
+		"-replicas", "3", "-hedge", "-hedge-after", "1ms",
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-fault-error", "0.1",
+		"-trace-sample", "1", "-slo-latency-p99", "30s",
+		"-metrics-json", metricsPath,
+	}
+	if err := run(args, io.Discard, io.Discard); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.MetricSnapshot
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("parsing %s: %v", metricsPath, err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("instrumented run emitted no metrics")
+	}
+
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	families := map[string]bool{}
+	for _, s := range snaps {
+		if strings.HasPrefix(s.Name, "mqo_") {
+			families[s.Name] = true
+		}
+	}
+	if len(families) < 20 {
+		t.Fatalf("only %d mqo_* families emitted — did the instrumented flags stop exercising the stack?", len(families))
+	}
+
+	var missing []string
+	for name := range families {
+		if !strings.Contains(doc, "`"+name) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("metric families emitted by a live run but absent from README.md's catalog:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -45,6 +45,12 @@ const (
 type Request struct {
 	ID     string
 	Prompt string
+	// Ctx optionally carries the query's trace span and ledger
+	// (obs.ContextWithSpan / obs.ContextWithLedger), so the executor's
+	// spans nest under the caller's query span and its stage charges
+	// land on the right books. Only values are taken from it —
+	// cancellation always comes from the context passed to Execute.
+	Ctx context.Context
 }
 
 // Config tunes an Executor.
@@ -125,6 +131,11 @@ type Outcome struct {
 	// Attempts counts predictor calls made for this request (0 when
 	// cached or skipped).
 	Attempts int
+	// Finished is when the worker completed the request (zero for
+	// requests never dispatched). Callers that opened a span per
+	// request close it with Span.EndAt(Finished), so recorded query
+	// durations exclude batch result-collection overhead.
+	Finished time.Time
 }
 
 // Result aggregates a batch execution.
@@ -330,6 +341,7 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 			for r := range work {
 				rec.Set(metricBatchInflight, float64(e.inflight.Add(1)))
 				o := e.one(ctx, r, bud, tick, rec)
+				o.Finished = time.Now()
 				rec.Set(metricBatchInflight, float64(e.inflight.Add(-1)))
 				record(r.ID, o)
 			}
@@ -375,23 +387,81 @@ func abortReason(err error) string {
 	return "canceled"
 }
 
+// charger accumulates a request's billed wall-clock so one() can
+// charge the residual (executor overhead no stage claims) at the end,
+// making billed stages tile the whole request. A nil charger is a
+// no-op, so uninstrumented runs skip all of it.
+type charger struct {
+	ctx    context.Context
+	billed time.Duration
+}
+
+func (c *charger) charge(stage string, wall time.Duration, tokens int, billed bool) {
+	if c == nil {
+		return
+	}
+	if billed && wall > 0 {
+		c.billed += wall
+	}
+	obs.Charge(c.ctx, stage, wall, tokens, billed)
+}
+
 // one executes a single request: cache check, single-flight
 // deduplication, budget guard, rate-paced predictor calls with retry.
 func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder) Outcome {
 	digest := promptDigest(r.Prompt)
 	live := obs.Enabled(rec)
 	var span *obs.Span
+	var ch *charger
+	var pickup time.Time
+	qctx := ctx
 	if live {
-		span = rec.StartSpan("batch.request", "id", r.ID)
+		pickup = time.Now()
+		if r.Ctx != nil {
+			// Graft the query's trace values onto the batch context:
+			// span/ledger from the per-request context, cancellation
+			// from Execute's.
+			if led := obs.LedgerFromContext(r.Ctx); led != nil {
+				qctx = obs.ContextWithLedger(qctx, led)
+			}
+			if root := obs.SpanFromContext(r.Ctx); root != nil {
+				qctx = obs.ContextWithSpan(qctx, root)
+				// Queue wait: the request existed since its root span
+				// opened, but no worker saw it until now.
+				if wait := pickup.Sub(root.StartTime()); wait > 0 {
+					_, qsp := obs.StartSpanCtxAt(qctx, rec, "batch.queue", root.StartTime())
+					qsp.EndAt(pickup)
+					obs.Charge(qctx, obs.StageQueue, wait, 0, true)
+				}
+			}
+		}
+		qctx, span = obs.StartSpanCtx(qctx, rec, "batch.request", "id", r.ID)
+		ch = &charger{ctx: qctx}
 	}
 	done := func(o Outcome, outcome string) Outcome {
 		rec.Add(metricBatchRequests, 1, "outcome", outcome)
 		if live {
+			end := time.Now()
+			if resid := end.Sub(pickup) - ch.billed; resid > 0 {
+				ch.charge(obs.StageExec, resid, 0, true)
+			}
 			span.SetAttr("outcome", outcome)
 			span.SetAttr("attempts", fmt.Sprint(o.Attempts))
-			span.End()
+			span.EndAt(end)
 		}
 		return o
+	}
+	// cacheResolved notes a request answered without a fresh predictor
+	// call: a child span for the tier that answered, and a billed cache
+	// charge carrying the response's token count — the caller's meter
+	// counts cached answers, so the ledger must bill them to a stage.
+	cacheResolved := func(tier string, resp llm.Response) {
+		if !live {
+			return
+		}
+		_, csp := obs.StartSpanCtxAt(qctx, rec, "batch.cache", pickup, "tier", tier)
+		csp.End()
+		ch.charge(obs.StageCache, time.Since(pickup), resp.InputTokens+resp.OutputTokens, true)
 	}
 
 	if e.cache != nil {
@@ -399,6 +469,7 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 		if cached, ok := e.cache[r.Prompt]; ok {
 			e.mu.Unlock()
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: cached.Category, Cached: true})
+			cacheResolved("memory", cached)
 			return done(Outcome{Response: cached, Cached: true}, "cached")
 		}
 		// Single-flight: if another worker is already querying this
@@ -414,6 +485,7 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 			}
 			if fc.err != nil {
 				e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: fc.err.Error()})
+				cacheResolved("coalesced", llm.Response{})
 				switch {
 				case errors.Is(fc.err, ErrBudgetExhausted):
 					return done(Outcome{Err: fc.err}, "skipped")
@@ -423,6 +495,7 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 				return done(Outcome{Err: fc.err}, "error")
 			}
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: fc.resp.Category, Cached: true})
+			cacheResolved("coalesced", fc.resp)
 			return done(Outcome{Response: fc.resp, Cached: true}, "coalesced")
 		}
 		fc := &flightCall{done: make(chan struct{})}
@@ -439,8 +512,9 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 			e.cache[r.Prompt] = resp
 			e.mu.Unlock()
 			e.log(logLine{ID: r.ID, PromptSHA256: digest, Category: resp.Category, Cached: true})
+			cacheResolved("disk", resp)
 		} else {
-			o, label = e.attempt(ctx, r, bud, tick, rec, digest, live)
+			o, label = e.attempt(qctx, r, bud, tick, rec, digest, live, ch)
 		}
 		fc.resp, fc.err = o.Response, o.Err
 		e.mu.Lock()
@@ -449,13 +523,16 @@ func (e *Executor) one(ctx context.Context, r Request, bud *budget, tick <-chan 
 		close(fc.done)
 		return done(o, label)
 	}
-	o, label := e.attempt(ctx, r, bud, tick, rec, digest, live)
+	o, label := e.attempt(qctx, r, bud, tick, rec, digest, live, ch)
 	return done(o, label)
 }
 
 // attempt runs the budget guard and the rate-paced retry loop for one
-// request, returning the outcome and its metric label.
-func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder, digest string, live bool) (Outcome, string) {
+// request, returning the outcome and its metric label. ctx carries the
+// query's span/ledger values (one() grafted them), so spans opened
+// here — backoff, breaker verdict, attempt N — nest under the
+// batch.request span and charges land on the query's ledger.
+func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-chan time.Time, rec obs.Recorder, digest string, live bool, ch *charger) (Outcome, string) {
 	if !bud.tryReserve() {
 		e.log(logLine{ID: r.ID, PromptSHA256: digest, Error: ErrBudgetExhausted.Error()})
 		return Outcome{Err: ErrBudgetExhausted}, "skipped"
@@ -466,9 +543,16 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 		if attempt > 1 {
 			rec.Add(metricBatchRetries, 1)
 			delay := llm.RetryBackoff(e.cfg.RetryDelay, e.cfg.MaxRetryDelay, attempt-1)
+			var bsp *obs.Span
+			if live {
+				_, bsp = obs.StartSpanCtx(ctx, rec, "batch.backoff", "attempt", fmt.Sprint(attempt))
+			}
 			select {
 			case <-time.After(delay):
+				bsp.End()
+				ch.charge(obs.StageBackoff, delay, 0, true)
 			case <-ctx.Done():
+				bsp.End()
 				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
 				return Outcome{Err: ctx.Err(), Attempts: attempt - 1}, "aborted"
 			}
@@ -478,14 +562,26 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 		// caller instead of queuing behind a backend presumed down.
 		if e.brk != nil {
 			if err := e.brk.Allow(); err != nil {
+				if live {
+					_, vsp := obs.StartSpanCtx(ctx, rec, "batch.breaker", "verdict", "open")
+					vsp.End()
+					ch.charge(obs.StageBreaker, 0, 0, true)
+				}
 				e.log(logLine{ID: r.ID, PromptSHA256: digest, Attempts: attempt - 1, Error: err.Error()})
 				return Outcome{Err: err, Attempts: attempt - 1}, "rejected"
 			}
 		}
 		if tick != nil {
+			var tstart time.Time
+			if live {
+				tstart = time.Now()
+			}
 			select {
 			case <-tick:
 				rec.Add(metricBatchThrottled, 1)
+				if live {
+					ch.charge(obs.StageThrottle, time.Since(tstart), 0, true)
+				}
 			case <-ctx.Done():
 				e.cancelBreaker() // pacing abort says nothing about the backend
 				rec.Add(metricBatchAborts, 1, "reason", abortReason(ctx.Err()))
@@ -493,12 +589,27 @@ func (e *Executor) attempt(ctx context.Context, r Request, bud *budget, tick <-c
 			}
 		}
 		var start time.Time
+		actx := ctx
+		var asp *obs.Span
 		if live {
 			start = time.Now()
+			actx, asp = obs.StartSpanCtx(ctx, rec, "batch.attempt", "n", fmt.Sprint(attempt))
 		}
-		resp, err := e.query(ctx, r.Prompt)
+		resp, err := e.query(actx, r.Prompt)
 		if live {
-			rec.Observe(metricBatchAttempt, time.Since(start).Seconds())
+			wall := time.Since(start)
+			rec.Observe(metricBatchAttempt, wall.Seconds())
+			if err == nil {
+				asp.SetAttr("outcome", "ok")
+				ch.charge(obs.StagePredict, wall, resp.InputTokens+resp.OutputTokens, true)
+			} else {
+				asp.SetAttr("outcome", "error")
+				// Failed attempts are serial wall-clock on this query's
+				// path, but they bought nothing: billed time, zero
+				// tokens, under the retry stage.
+				ch.charge(obs.StageRetry, wall, 0, true)
+			}
+			asp.End()
 		}
 		if err == nil {
 			e.reportBreaker(true)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 )
 
 // Exec holds the shared execution flags after parsing.
@@ -28,6 +29,8 @@ type Exec struct {
 	CacheDir        string
 	CacheMaxBytes   int64
 	CacheTTL        time.Duration
+	TraceSample     float64
+	SLOLatencyP99   time.Duration
 }
 
 // Register installs the shared flag group on fs. Call before
@@ -44,6 +47,8 @@ func (e *Exec) Register(fs *flag.FlagSet) {
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
 	fs.Int64Var(&e.CacheMaxBytes, "cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
 	fs.DurationVar(&e.CacheTTL, "cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
+	fs.Float64Var(&e.TraceSample, "trace-sample", 1, "fraction of query traces recorded with span trees and ledgers (0 = none, 1 = all)")
+	fs.DurationVar(&e.SLOLatencyP99, "slo-latency-p99", 0, "per-query p99 latency objective for the SLO engine (0 = disabled)")
 }
 
 // Names lists every flag Register installs. The CLI parity test
@@ -54,6 +59,20 @@ func Names() []string {
 		"breaker", "breaker-cooldown",
 		"replicas", "hedge", "hedge-after",
 		"cache-dir", "cache-max-bytes", "cache-ttl",
+		"trace-sample", "slo-latency-p99",
+	}
+}
+
+// ApplyObs lowers the tracing/SLO flags onto a registry: the sampling
+// rate always, the SLO only when an objective is set (the engine stays
+// unconfigured otherwise and /debug/slo reports so).
+func (e *Exec) ApplyObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetTraceSample(e.TraceSample)
+	if e.SLOLatencyP99 > 0 {
+		r.SetSLO(obs.SLO{Name: "query_latency_p99", Objective: e.SLOLatencyP99, Percentile: 0.99})
 	}
 }
 

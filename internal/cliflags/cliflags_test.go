@@ -20,6 +20,7 @@ func TestRegisterParses(t *testing.T) {
 		"-breaker", "3", "-breaker-cooldown", "5s",
 		"-replicas", "4", "-hedge", "-hedge-after", "20ms",
 		"-cache-dir", "/tmp/c", "-cache-max-bytes", "1024", "-cache-ttl", "1h",
+		"-trace-sample", "0.25", "-slo-latency-p99", "750ms",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse(%v): %v", args, err)
@@ -29,6 +30,7 @@ func TestRegisterParses(t *testing.T) {
 		Breaker: 3, BreakerCooldown: 5 * time.Second,
 		Replicas: 4, Hedge: true, HedgeAfter: 20 * time.Millisecond,
 		CacheDir: "/tmp/c", CacheMaxBytes: 1024, CacheTTL: time.Hour,
+		TraceSample: 0.25, SLOLatencyP99: 750 * time.Millisecond,
 	}
 	if e != want {
 		t.Errorf("parsed %+v, want %+v", e, want)
@@ -61,7 +63,8 @@ func TestNamesMatchesRegister(t *testing.T) {
 }
 
 // TestDefaults pins the zero-config behaviour: serial execution, no
-// breaker, a single replica, no hedging, no cache.
+// breaker, a single replica, no hedging, no cache, full trace
+// sampling, no SLO.
 func TestDefaults(t *testing.T) {
 	var e Exec
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
@@ -69,7 +72,7 @@ func TestDefaults(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	want := Exec{Workers: 1, Replicas: 1}
+	want := Exec{Workers: 1, Replicas: 1, TraceSample: 1}
 	if e != want {
 		t.Errorf("defaults = %+v, want %+v", e, want)
 	}

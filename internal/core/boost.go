@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/llm"
 	"repro/internal/obs"
@@ -81,10 +83,15 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 	rec := obs.Active(ctx.Obs)
 	// One executor serves every round, so its response cache (when
 	// enabled) persists across rounds.
-	ex, tp, err := newPlanExecutor(p, ecfg, rec, "boost")
+	ex, err := newPlanExecutor(p, ecfg, rec, "boost")
 	if err != nil {
 		return nil, nil, err
 	}
+	// The boost plan and its rounds share one trace (rounds are children
+	// of the plan span); each query roots its own trace linked back via
+	// plan_trace/round attributes on its root span.
+	planSpan := rec.StartSpan("core.plan", "mode", "boost", "queries", strconv.Itoa(len(plan.Queries)))
+	defer planSpan.End()
 	var qerrs QueryErrors
 
 	// isPseudo marks labels added during boosting, to count utilization.
@@ -134,6 +141,9 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 		// Step 2: execute this round's candidates. Their prompts are
 		// fixed here — before any of them runs — so the round can fan
 		// out across workers without changing what is asked.
+		_, roundSpan := obs.StartSpanCtx(obs.ContextWithSpan(context.Background(), planSpan), rec,
+			"core.round", "round", strconv.Itoa(round),
+			"gamma1", strconv.Itoa(g1), "gamma2", strconv.Itoa(g2))
 		roundPseudo := 0
 		planned := make([]plannedQuery, 0, len(cands))
 		for _, c := range cands {
@@ -149,8 +159,10 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 				prompt:   predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0),
 			})
 		}
-		batchOut, err := dispatch(ex, tp, planned)
+		link := append(planLink(planSpan), "round", strconv.Itoa(round))
+		batchOut, err := dispatch(ex, planned, rec, "boost", link...)
 		if err != nil {
+			roundSpan.End()
 			return nil, nil, err
 		}
 		executedSet := make(map[tag.NodeID]bool, len(planned))
@@ -216,6 +228,8 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 			Executed: len(outcomes), PseudoUses: roundPseudo,
 			KnownEntries: len(ctx.Known),
 		})
+		roundSpan.SetAttr("executed", strconv.Itoa(len(outcomes)))
+		roundSpan.End()
 	}
 	if len(qerrs.Errs) > 0 {
 		return res, trace, &qerrs

@@ -331,16 +331,16 @@ func (e *QueryErrors) Error() string {
 }
 
 // timedPredictor decorates predictor calls issued by the batch executor
-// with the per-query span and latency histogram the serial path used to
-// emit inline, so observability is identical on both paths.
+// with the per-query latency histogram the serial path used to emit
+// inline, so observability is identical on both paths. (The per-query
+// "core.query" span is no longer opened here: since tracing went
+// hierarchical it is the query's root span, opened by dispatch before
+// the request enters the executor — this layer sits *inside* the
+// executor's attempt span and only times the winning call.)
 type timedPredictor struct {
 	inner llm.Predictor
 	rec   obs.Recorder
 	mode  string
-	// node maps prompt text back to the query node for span attributes.
-	// It is built (or updated) before the executor runs and only read
-	// while workers are live.
-	node map[string]string
 }
 
 // Name implements llm.Predictor.
@@ -350,13 +350,11 @@ func (t *timedPredictor) Name() string { return t.inner.Name() }
 // disk-cache namespace is unchanged by instrumentation.
 func (t *timedPredictor) Identity() string { return llm.IdentityOf(t.inner) }
 
-// Query implements llm.Predictor with span + histogram instrumentation.
+// Query implements llm.Predictor with histogram instrumentation.
 func (t *timedPredictor) Query(promptText string) (llm.Response, error) {
-	span := t.rec.StartSpan("core.query", "mode", t.mode, "node", t.node[promptText])
 	start := time.Now()
 	resp, err := t.inner.Query(promptText)
 	t.rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", t.mode)
-	span.End()
 	return resp, err
 }
 
@@ -371,11 +369,9 @@ type timedCtxPredictor struct {
 // QueryContext implements llm.ContextPredictor with the same
 // instrumentation as Query.
 func (t *timedCtxPredictor) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
-	span := t.rec.StartSpan("core.query", "mode", t.mode, "node", t.node[promptText])
 	start := time.Now()
 	resp, err := t.cp.QueryContext(ctx, promptText)
 	t.rec.Observe(metricQuerySeconds, time.Since(start).Seconds(), "mode", t.mode)
-	span.End()
 	return resp, err
 }
 
@@ -408,9 +404,8 @@ func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.No
 
 // newPlanExecutor wraps p for one plan execution: instrumented when a
 // recorder is live, and fronted by a bounded-concurrency batch
-// executor. The returned timedPredictor is nil when instrumentation is
-// off.
-func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode string) (*batch.Executor, *timedPredictor, error) {
+// executor.
+func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode string) (*batch.Executor, error) {
 	if reps := cfg.replicaSet(p); reps != nil {
 		pl, err := pool.New(reps, pool.Config{
 			Hedge:      cfg.Hedge,
@@ -419,7 +414,7 @@ func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode str
 			Obs:        rec,
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: building replica pool: %w", err)
+			return nil, fmt.Errorf("core: building replica pool: %w", err)
 		}
 		p = pl
 		// The per-replica breakers replace the executor's global one: a
@@ -427,38 +422,95 @@ func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode str
 		// to trip a breaker spanning the healthy ones.
 		cfg.Breaker = batch.BreakerConfig{}
 	}
-	var tp *timedPredictor
 	qp := p
 	if obs.Enabled(rec) {
-		tp = &timedPredictor{inner: p, rec: rec, mode: mode, node: map[string]string{}}
+		tp := &timedPredictor{inner: p, rec: rec, mode: mode}
 		if cp, ok := p.(llm.ContextPredictor); ok {
 			qp = &timedCtxPredictor{timedPredictor: tp, cp: cp}
 		} else {
 			qp = tp
 		}
 	}
-	ex, err := batch.New(qp, cfg.batchConfig(rec))
-	return ex, tp, err
+	return batch.New(qp, cfg.batchConfig(rec))
+}
+
+// queryTrace pairs one query's root span with its ledger, both closed
+// by dispatch when the outcome is in.
+type queryTrace struct {
+	root *obs.Span
+	led  *obs.Ledger
+}
+
+// close settles one query's books: the root span ends at the instant
+// the worker finished the request (falling back to now for requests the
+// executor never picked up) and the ledger closes with the span's exact
+// duration. Core charges no stages of its own — the executor tiles the
+// span with queue/cache/predict/… charges — so billed tokens stay
+// exactly the metered spend.
+func (qt queryTrace) close(o batch.Outcome) {
+	if qt.root == nil {
+		return
+	}
+	end := o.Finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	if o.Err != nil {
+		qt.root.SetAttr("outcome", "error")
+	} else if o.Cached {
+		qt.root.SetAttr("outcome", "cached")
+	}
+	qt.root.EndAt(end)
+	qt.led.Close(end.Sub(qt.root.StartTime()))
+}
+
+// planLink renders a plan-level (or round-level) span's trace identity
+// as labels for the query roots under it. Query traces are separate
+// traces — each ledger is keyed by its trace ID — so the linkage is by
+// attribute, not by parentage. Empty when the plan span is untraced.
+func planLink(sp *obs.Span) []string {
+	if !sp.Sampled() {
+		return nil
+	}
+	return []string{"plan_trace", sp.TraceID()}
 }
 
 // dispatch runs the planned queries through the executor and returns
 // outcomes keyed by node. Prompts are already fixed, so concurrent
 // dispatch cannot change what is asked — only how fast.
-func dispatch(ex *batch.Executor, tp *timedPredictor, planned []plannedQuery) (map[tag.NodeID]batch.Outcome, error) {
+//
+// When tracing is live each query gets its own trace: a "core.query"
+// root span plus a ledger, both carried into the executor via
+// Request.Ctx so every layer underneath (queue, cache, pool, predictor
+// — and llmserve across the HTTP hop) nests spans and charges stages
+// into them. extra labels (plan/round linkage) are attached to each
+// root.
+func dispatch(ex *batch.Executor, planned []plannedQuery, rec obs.Recorder, mode string, extra ...string) (map[tag.NodeID]batch.Outcome, error) {
 	reqs := make([]batch.Request, len(planned))
+	traces := make([]queryTrace, len(planned))
 	for i, q := range planned {
 		reqs[i] = batch.Request{ID: strconv.Itoa(int(q.v)), Prompt: q.prompt}
-		if tp != nil {
-			tp.node[q.prompt] = reqs[i].ID
+		labels := append([]string{"mode", mode, "node", reqs[i].ID}, extra...)
+		qctx, root := obs.StartSpanCtx(context.Background(), rec, "core.query", labels...)
+		if root.Sampled() {
+			led := obs.NewLedger(rec, root.TraceID(), mode+"/node:"+reqs[i].ID)
+			qctx = obs.ContextWithLedger(qctx, led)
+			traces[i] = queryTrace{root: root, led: led}
 		}
+		reqs[i].Ctx = qctx
 	}
 	res, err := ex.Execute(context.Background(), reqs)
 	if err != nil {
+		for i := range traces {
+			traces[i].close(batch.Outcome{Err: err})
+		}
 		return nil, err
 	}
 	out := make(map[tag.NodeID]batch.Outcome, len(planned))
 	for i, q := range planned {
-		out[q.v] = res.Outcomes[reqs[i].ID]
+		o := res.Outcomes[reqs[i].ID]
+		out[q.v] = o
+		traces[i].close(o)
 	}
 	return out, nil
 }
@@ -478,12 +530,17 @@ func Execute(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan
 func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg ExecConfig) (*Results, error) {
 	rec := obs.Active(ctx.Obs)
 	res := &Results{Pred: make(map[tag.NodeID]string, len(plan.Queries)), Rounds: 1}
-	ex, tp, err := newPlanExecutor(p, cfg, rec, "plain")
+	ex, err := newPlanExecutor(p, cfg, rec, "plain")
 	if err != nil {
 		return nil, err
 	}
 	planned := buildQueries(ctx, m, plan.Queries, plan.Prune)
-	outcomes, err := dispatch(ex, tp, planned)
+	// The plan span is its own trace; each query roots a separate trace
+	// (its ledger is keyed by trace ID) and links back via the
+	// plan_trace attribute.
+	planSpan := rec.StartSpan("core.plan", "mode", "plain", "queries", strconv.Itoa(len(planned)))
+	defer planSpan.End()
+	outcomes, err := dispatch(ex, planned, rec, "plain", planLink(planSpan)...)
 	if err != nil {
 		return nil, err
 	}

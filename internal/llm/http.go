@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/token"
 )
@@ -134,6 +136,9 @@ type chatErrorBody struct {
 	Error struct {
 		Message string `json:"message"`
 		Type    string `json:"type"`
+		// TraceID correlates an error with its /debug/querytrace entry
+		// (set by llm.Handler on traced requests).
+		TraceID string `json:"trace_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -227,23 +232,36 @@ func (c *HTTPPredictor) QueryContext(ctx context.Context, promptText string) (Re
 	return Response{}, fmt.Errorf("llm: giving up after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
 }
 
-// do performs one HTTP round trip.
+// do performs one HTTP round trip. When the context carries a sampled
+// trace span, the round trip gets a child span and the request carries
+// the W3C traceparent header, so an llmserve on the other end (itself
+// possibly proxying to further upstreams) stitches its spans into this
+// query's trace.
 func (c *HTTPPredictor) do(ctx context.Context, body []byte) (*chatResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	sctx, sp := obs.StartSpanCtx(ctx, nil, "llm.http", "model", c.cfg.Model)
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost,
 		strings.TrimSuffix(c.cfg.BaseURL, "/")+ChatCompletionsPath, bytes.NewReader(body))
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("llm: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if c.cfg.APIKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
 	}
+	if tp := obs.TraceParent(sp); tp != "" {
+		req.Header.Set(obs.TraceParentHeader, tp)
+	}
 	httpResp, err := c.client.Do(req)
 	if err != nil {
+		sp.SetAttr("outcome", "transport_error")
+		sp.End()
 		return nil, fmt.Errorf("llm: transport: %w", err)
 	}
 	defer httpResp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	sp.SetAttr("status", strconv.Itoa(httpResp.StatusCode))
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("llm: reading response: %w", err)
 	}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,11 +52,22 @@ func NewHandler(p Predictor) *Handler { return &Handler{predictor: p} }
 func (h *Handler) Requests() int { return int(h.requests.Load()) }
 
 // ServeHTTP implements http.Handler for POST /v1/chat/completions.
+// Requests carrying a W3C traceparent header join the caller's trace
+// (the request span's parent is the caller's span, across the process
+// boundary); every traced request gets the X-Trace-Id response header
+// and a per-request ledger billing the predictor call.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := obs.Active(h.Obs)
-	span := rec.StartSpan("llm.request", "method", r.Method)
-	status, inTokens, outTokens := h.serve(w, r)
+	ctx := obs.WithRemoteParent(r.Context(), r.Header.Get(obs.TraceParentHeader))
+	sctx, span := obs.StartSpanCtx(ctx, rec, "llm.request", "method", r.Method)
+	var led *obs.Ledger
+	if span.Sampled() {
+		w.Header().Set(obs.HeaderTraceID, span.TraceID())
+		led = obs.NewLedger(rec, span.TraceID(), "llm.request")
+		sctx = obs.ContextWithLedger(sctx, led)
+	}
+	status, inTokens, outTokens := h.serve(sctx, w, r)
 
 	code := strconv.Itoa(status)
 	rec.Add("mqo_http_requests_total", 1, "code", code)
@@ -66,17 +78,26 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rec.Add("mqo_http_input_tokens_total", float64(inTokens))
 		rec.Add("mqo_http_output_tokens_total", float64(outTokens))
 	}
-	rec.Observe("mqo_http_request_duration_seconds", time.Since(start).Seconds())
+	total := time.Since(start)
+	rec.Observe("mqo_http_request_duration_seconds", total.Seconds())
 	span.SetAttr("code", code)
 	if inTokens > 0 {
 		span.SetAttr("input_tokens", strconv.Itoa(inTokens))
 	}
 	span.End()
+	if led != nil {
+		if resid := total - led.BilledWall(); resid > 0 {
+			led.Charge(obs.StageExec, resid, 0, true)
+		}
+		led.Close(total)
+	}
 }
 
 // serve handles one request and reports the response status plus the
-// token usage of a successful query (0, 0 otherwise).
-func (h *Handler) serve(w http.ResponseWriter, r *http.Request) (status, inTokens, outTokens int) {
+// token usage of a successful query (0, 0 otherwise). ctx carries the
+// request's span and ledger; context-aware predictors receive it so a
+// proxy hop (a pool of HTTPPredictors) forwards the trace onward.
+func (h *Handler) serve(ctx context.Context, w http.ResponseWriter, r *http.Request) (status, inTokens, outTokens int) {
 	if r.URL.Path != ChatCompletionsPath {
 		writeAPIError(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
 		return http.StatusNotFound, 0, 0
@@ -118,9 +139,19 @@ func (h *Handler) serve(w http.ResponseWriter, r *http.Request) (status, inToken
 		return http.StatusBadRequest, 0, 0
 	}
 
+	qstart := time.Now()
+	var resp Response
 	h.qmu.Lock()
-	resp, err := h.predictor.Query(promptText)
+	if cp, ok := h.predictor.(ContextPredictor); ok {
+		resp, err = cp.QueryContext(ctx, promptText)
+	} else {
+		resp, err = h.predictor.Query(promptText)
+	}
 	h.qmu.Unlock()
+	// The predictor call is this request's predict stage: its wall and
+	// the response's tokens are the billed serving cost (cache layers
+	// underneath charge themselves unbilled, see promptcache.Wrap).
+	obs.Charge(ctx, obs.StagePredict, time.Since(qstart), resp.InputTokens+resp.OutputTokens, true)
 	if err != nil {
 		// An unreadable prompt is the caller's fault, not a server
 		// failure: report 400 so clients do not retry it.
@@ -156,15 +187,19 @@ func (h *Handler) serve(w http.ResponseWriter, r *http.Request) (status, inToken
 	return http.StatusOK, resp.InputTokens, resp.OutputTokens
 }
 
-// writeAPIError emits an OpenAI-style error body.
+// writeAPIError emits an OpenAI-style error body. When the response
+// already carries a trace ID header (set before the handler body ran),
+// the error body repeats it so clients can quote the trace of a
+// 4xx/5xx without keeping response headers around.
 func writeAPIError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
 	var body chatErrorBody
 	body.Error.Message = msg
 	body.Error.Type = "invalid_request_error"
 	if status >= 500 || status == http.StatusTooManyRequests {
 		body.Error.Type = "server_error"
 	}
+	body.Error.TraceID = w.Header().Get(obs.HeaderTraceID)
+	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
 }

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartSpanCtxBuildsHierarchy(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("root")
+	if root.TraceID() == "" || len(root.TraceID()) != 32 || len(root.SpanID()) != 16 {
+		t.Fatalf("root ids = %q / %q", root.TraceID(), root.SpanID())
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx2, child := StartSpanCtx(ctx, r, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %q != root trace %q", child.TraceID(), root.TraceID())
+	}
+	if child.ParentID() != root.SpanID() {
+		t.Fatalf("child parent %q != root span %q", child.ParentID(), root.SpanID())
+	}
+	_, grand := StartSpanCtx(ctx2, r, "grandchild")
+	if grand.ParentID() != child.SpanID() || grand.TraceID() != root.TraceID() {
+		t.Fatalf("grandchild ids wrong: %+v", grand)
+	}
+	grand.End()
+	child.End()
+	root.End()
+
+	got := r.TraceByID(root.TraceID())
+	if len(got) != 3 {
+		t.Fatalf("TraceByID returned %d spans, want 3", len(got))
+	}
+}
+
+func TestStartSpanCtxWithoutParentIsRoot(t *testing.T) {
+	r := NewRegistry()
+	_, sp := StartSpanCtx(context.Background(), r, "lonely")
+	if sp.ParentID() != "" || sp.TraceID() == "" {
+		t.Fatalf("expected fresh root, got %+v", sp)
+	}
+}
+
+func TestStartSpanCtxNopRecorder(t *testing.T) {
+	ctx, sp := StartSpanCtx(context.Background(), Nop, "x")
+	if sp != nil {
+		t.Fatal("nop recorder should return nil span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil span must not be installed in context")
+	}
+	sp.SetAttr("a", "b")
+	sp.End()
+}
+
+func TestStartSpanCtxAtBackdatesStart(t *testing.T) {
+	r := NewRegistry()
+	start := time.Now().Add(-time.Hour)
+	_, sp := StartSpanCtxAt(context.Background(), r, "queued", start)
+	if !sp.StartTime().Equal(start) {
+		t.Fatalf("start = %v, want %v", sp.StartTime(), start)
+	}
+	if d := sp.End(); d < time.Hour {
+		t.Fatalf("duration %v should include backdated wait", d)
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("client")
+	hdr := TraceParent(sp)
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("traceparent = %q", hdr)
+	}
+	traceID, spanID, ok := ParseTraceParent(hdr)
+	if !ok || traceID != sp.TraceID() || spanID != sp.SpanID() {
+		t.Fatalf("parse(%q) = %q/%q/%v", hdr, traceID, spanID, ok)
+	}
+
+	// The server side: spans under the remote parent join the trace.
+	ctx := WithRemoteParent(context.Background(), hdr)
+	_, srv := StartSpanCtx(ctx, r, "server")
+	if srv.TraceID() != sp.TraceID() || srv.ParentID() != sp.SpanID() {
+		t.Fatalf("server span not stitched: trace %q parent %q", srv.TraceID(), srv.ParentID())
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-zzzz-1111-01",
+		"00-" + strings.Repeat("0", 32) + "-1234567812345678-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01",
+		"00-" + strings.Repeat("A", 32) + "-1234567812345678-01", // uppercase hex
+		"00-" + strings.Repeat("a", 31) + "-1234567812345678-01", // short
+	}
+	for _, v := range bad {
+		if _, _, ok := ParseTraceParent(v); ok {
+			t.Errorf("ParseTraceParent(%q) accepted", v)
+		}
+	}
+	if got := WithRemoteParent(context.Background(), "junk"); SpanFromContext(got) != nil {
+		t.Fatal("malformed traceparent installed a parent")
+	}
+}
+
+func TestTraceParentNilAndUnsampled(t *testing.T) {
+	if TraceParent(nil) != "" {
+		t.Fatal("nil span produced a traceparent")
+	}
+	r := NewRegistry()
+	r.SetTraceSample(0)
+	sp := r.StartSpan("unsampled")
+	if TraceParent(sp) != "" {
+		t.Fatal("unsampled span produced a traceparent")
+	}
+}
+
+func TestSampleRateInheritance(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceSample(0)
+	root := r.StartSpan("root")
+	if root.Sampled() {
+		t.Fatal("root sampled at rate 0")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	_, child := StartSpanCtx(ctx, r, "child")
+	if child.Sampled() {
+		t.Fatal("child of unsampled root is sampled")
+	}
+	child.End()
+	root.End()
+	if n := len(r.Traces()); n != 0 {
+		t.Fatalf("%d spans recorded at rate 0", n)
+	}
+}
+
+func TestSampleRateFractionDeterministic(t *testing.T) {
+	count := func() int {
+		r := NewRegistry()
+		r.SetTraceSample(0.5)
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if r.StartSpan("s").Sampled() {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("sampling not deterministic: %d vs %d", a, b)
+	}
+	if a < 400 || a > 600 {
+		t.Fatalf("rate 0.5 sampled %d/1000", a)
+	}
+}
+
+func TestChargeViaContext(t *testing.T) {
+	r := NewRegistry()
+	l := NewLedger(r, "t", "q")
+	ctx := ContextWithLedger(context.Background(), l)
+	Charge(ctx, StageCache, time.Millisecond, 5, true)
+	Charge(context.Background(), StageCache, time.Millisecond, 5, true) // no ledger: dropped
+	Charge(nil, StageCache, time.Millisecond, 5, true)                  // nil ctx: dropped
+	snap := l.Close(time.Millisecond)
+	if snap.BilledTokens != 5 {
+		t.Fatalf("billed tokens = %d, want 5", snap.BilledTokens)
+	}
+	if LedgerFromContext(ctx) != l {
+		t.Fatal("LedgerFromContext lost the ledger")
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Satellite coverage: Prometheus text exposition edge cases.
+
+func TestExpositionEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Add("edge_total", 1, "path", `C:\dir`+"\n"+`"quoted"`)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `edge_total{path="C:\\dir\n\"quoted\""} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series:\nwant %s\ngot:\n%s", want, out)
+	}
+	// Raw control characters must not leak into the output: every
+	// physical line is one sample or one comment.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1") {
+			t.Fatalf("sample line broken by unescaped newline: %q", line)
+		}
+	}
+}
+
+func TestExpositionEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.DeclareCounter("helpful_total", "line one\nline \\two")
+	r.Add("helpful_total", 1)
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `# HELP helpful_total line one\nline \\two`) {
+		t.Fatalf("HELP not escaped:\n%s", buf.String())
+	}
+}
+
+func TestSnapshotRoundTripsEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	val := "a\"b\\c\nd"
+	r.Add("rt_total", 3, "k", val)
+	snaps := r.Snapshot()
+	if len(snaps) != 1 || snaps[0].Labels["k"] != val {
+		t.Fatalf("snapshot labels = %+v, want k=%q", snaps, val)
+	}
+}
+
+func TestHistogramInfBucketMatchesCount(t *testing.T) {
+	r := NewRegistry()
+	r.DeclareHistogram("h_seconds", "", []float64{0.1, 1})
+	// One sample per region: under first bucket, between, over all.
+	r.Observe("h_seconds", 0.05)
+	r.Observe("h_seconds", 0.5)
+	r.Observe("h_seconds", 99) // lands only in +Inf
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+
+	var infCum, count uint64
+	var sum float64
+	var buckets []uint64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, `h_seconds_bucket{le="+Inf"}`):
+			infCum, _ = strconv.ParseUint(fields[1], 10, 64)
+		case strings.HasPrefix(line, "h_seconds_bucket"):
+			v, _ := strconv.ParseUint(fields[1], 10, 64)
+			buckets = append(buckets, v)
+		case strings.HasPrefix(line, "h_seconds_sum"):
+			sum, _ = strconv.ParseFloat(fields[1], 64)
+		case strings.HasPrefix(line, "h_seconds_count"):
+			count, _ = strconv.ParseUint(fields[1], 10, 64)
+		}
+	}
+	if count != 3 || infCum != count {
+		t.Fatalf("+Inf bucket %d vs count %d (want both 3)", infCum, count)
+	}
+	if len(buckets) != 2 || buckets[0] != 1 || buckets[1] != 2 {
+		t.Fatalf("cumulative buckets = %v, want [1 2]", buckets)
+	}
+	if sum < 99.54 || sum > 99.56 {
+		t.Fatalf("sum = %v, want 99.55", sum)
+	}
+}
+
+func TestHistogramInfOnlySample(t *testing.T) {
+	r := NewRegistry()
+	r.DeclareHistogram("inf_seconds", "", []float64{0.001})
+	r.Observe("inf_seconds", 1e9)
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `inf_seconds_bucket{le="0.001"} 0`) {
+		t.Fatalf("finite bucket should be 0:\n%s", out)
+	}
+	if !strings.Contains(out, `inf_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("+Inf bucket should be 1:\n%s", out)
+	}
+	if !strings.Contains(out, "inf_seconds_count 1") {
+		t.Fatalf("count should be 1:\n%s", out)
+	}
+}
+
+func TestHistogramBucketLabelSplicing(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("lab_seconds", 0.5, "stage", "predict")
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `lab_seconds_bucket{stage="predict",le="+Inf"} 1`) {
+		t.Fatalf("le not spliced into labeled histogram:\n%s", buf.String())
+	}
+}
+
+// Satellite: statusRecorder must forward http.Flusher.
+
+type flushCountingWriter struct {
+	http.ResponseWriter
+	flushes int
+}
+
+func (f *flushCountingWriter) Flush() { f.flushes++ }
+
+func TestAccessLogForwardsFlusher(t *testing.T) {
+	inner := &flushCountingWriter{ResponseWriter: httptest.NewRecorder()}
+	var flushed bool
+	h := AccessLog(nil, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("access-logged writer lost http.Flusher")
+		}
+		f.Flush()
+		flushed = true
+	}))
+	h.ServeHTTP(inner, httptest.NewRequest("GET", "/", nil))
+	if !flushed || inner.flushes != 1 {
+		t.Fatalf("flush not forwarded to underlying writer (flushes=%d)", inner.flushes)
+	}
+}
+
+func TestAccessLogIncludesTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	h := AccessLog(NewLogger(&buf), http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set(HeaderTraceID, "abc123")
+		w.WriteHeader(200)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/chat/completions", nil))
+	if !strings.Contains(buf.String(), `"trace_id":"abc123"`) {
+		t.Fatalf("access log missing trace_id: %s", buf.String())
+	}
+}

@@ -12,6 +12,10 @@ import (
 const (
 	HeaderInputTokens  = "X-Usage-Input-Tokens"
 	HeaderOutputTokens = "X-Usage-Output-Tokens"
+	// HeaderTraceID carries the request's trace ID back to the client
+	// (and into the access log), so a 429/500 can be correlated with
+	// its /debug/querytrace entry.
+	HeaderTraceID = "X-Trace-Id"
 )
 
 // Handler returns the /metrics endpoint: the registry in Prometheus
@@ -62,6 +66,19 @@ func (s *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards http.Flusher so streaming handlers keep working
+// behind the access log. The method is always present (the interface
+// assertion on statusRecorder succeeds); it no-ops when the underlying
+// writer cannot flush.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		if s.status == 0 {
+			s.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
 // AccessLog wraps next so every request emits one structured JSON line
 // on l: method, path, status, latency, response bytes, and token usage
 // when the handler reported it via the HeaderInputTokens /
@@ -87,6 +104,9 @@ func AccessLog(l *Logger, next http.Handler) http.Handler {
 		}
 		if v := rec.Header().Get(HeaderOutputTokens); v != "" {
 			fields["output_tokens"] = v
+		}
+		if v := rec.Header().Get(HeaderTraceID); v != "" {
+			fields["trace_id"] = v
 		}
 		l.Log("http_request", fields)
 	})

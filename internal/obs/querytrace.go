@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// QueryTrace is the machine-readable form of one query's trace: the
+// span tree (as retained spans) plus the closed ledger, if any.
+type QueryTrace struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []Trace        `json:"spans"`
+	Ledger  *LedgerSnapshot `json:"ledger,omitempty"`
+	// Rendered is the human-readable tree, same as the text endpoint.
+	Rendered string `json:"rendered"`
+}
+
+// QueryTraceOf assembles the trace tree and ledger for one trace ID;
+// ok is false when no span of that trace is retained.
+func (r *Registry) QueryTraceOf(traceID string) (QueryTrace, bool) {
+	spans := r.TraceByID(traceID)
+	if len(spans) == 0 {
+		return QueryTrace{}, false
+	}
+	qt := QueryTrace{TraceID: traceID, Spans: spans}
+	if led, ok := r.LedgerByTrace(traceID); ok {
+		qt.Ledger = &led
+	}
+	qt.Rendered = RenderSpanTree(spans, qt.Ledger)
+	return qt, true
+}
+
+// RenderSpanTree renders spans of one trace as an indented tree with
+// durations and attributes, followed by the ledger breakdown when one
+// is given. Spans whose parent is not retained (remote parents, ring
+// eviction) render as roots marked with their orphaned parent ID.
+func RenderSpanTree(spans []Trace, ledger *LedgerSnapshot) string {
+	byID := make(map[string]int, len(spans))
+	for i, s := range spans {
+		byID[s.SpanID] = i
+	}
+	children := make(map[string][]int)
+	var roots []int
+	for i, s := range spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			if !spans[idx[a]].Start.Equal(spans[idx[b]].Start) {
+				return spans[idx[a]].Start.Before(spans[idx[b]].Start)
+			}
+			return spans[idx[a]].SpanID < spans[idx[b]].SpanID
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  %s", s.Name, fmtDur(s.Duration))
+		if depth == 0 && s.ParentID != "" {
+			fmt.Fprintf(&b, "  (remote parent %s)", s.ParentID)
+		}
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("  {")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s=%s", k, s.Attrs[k])
+			}
+			b.WriteString("}")
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, rt := range roots {
+		walk(rt, 0)
+	}
+
+	if ledger != nil {
+		fmt.Fprintf(&b, "\nledger %s  total=%s  billed=%s (%.0f%% attributed)  tokens billed=%d unbilled=%d\n",
+			ledger.Name, fmtDur(ledger.Total), fmtDur(ledger.BilledWall),
+			ledger.Attribution()*100, ledger.BilledTokens, ledger.UnbilledTokens)
+		for _, t := range ledger.StageTotals() {
+			mark := " "
+			if !t.Billed {
+				mark = "~" // unbilled: off the critical path
+			}
+			fmt.Fprintf(&b, "  %s %-10s %10s  tokens=%d\n", mark, t.Stage, fmtDur(t.Wall), t.Tokens)
+		}
+	}
+	return b.String()
+}
+
+// fmtDur renders durations compactly with microsecond precision below
+// a second.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// QueryTraceHandler serves /debug/querytrace. Without an id parameter
+// it lists the retained traces (root spans, newest first); with
+// ?id=<trace-id> it renders that trace's span tree and ledger as text,
+// or as JSON with &format=json.
+func QueryTraceHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			listQueryTraces(r, w)
+			return
+		}
+		qt, ok := r.QueryTraceOf(id)
+		if !ok {
+			http.Error(w, "trace not found (evicted or never sampled): "+id, http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(qt)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s\n\n%s", qt.TraceID, qt.Rendered)
+	})
+}
+
+// listQueryTraces writes the index: one line per retained trace, its
+// root span name and duration, newest first.
+func listQueryTraces(r *Registry, w http.ResponseWriter) {
+	spans := r.Traces()
+	type root struct {
+		id   string
+		name string
+		dur  time.Duration
+		n    int
+	}
+	byTrace := map[string]*root{}
+	var order []string
+	for _, s := range spans {
+		if s.TraceID == "" {
+			continue
+		}
+		rt := byTrace[s.TraceID]
+		if rt == nil {
+			rt = &root{id: s.TraceID}
+			byTrace[s.TraceID] = rt
+			order = append(order, s.TraceID)
+		}
+		rt.n++
+		if s.ParentID == "" || rt.name == "" {
+			rt.name, rt.dur = s.Name, s.Duration
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d trace(s) retained; /debug/querytrace?id=<trace-id>\n\n", len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rt := byTrace[order[i]]
+		fmt.Fprintf(w, "%s  %-24s %s  (%d spans)\n", rt.id, rt.name, fmtDur(rt.dur), rt.n)
+	}
+}

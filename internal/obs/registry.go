@@ -71,6 +71,18 @@ type Registry struct {
 
 	traces *traceRing
 
+	// sampleRate holds the float64 bits of the root-span sampling rate
+	// (1.0 on new registries); sampleSeq is the position in the
+	// low-discrepancy sampling sequence.
+	sampleRate atomic.Uint64
+	sampleSeq  atomic.Uint64
+
+	// ledgers retains recently closed query ledgers for
+	// /debug/querytrace and carries the slow-query log wiring; slo is
+	// the latency-objective engine they feed.
+	ledgers ledgerStore
+	slo     sloState
+
 	// misuse counts dropped events: invalid names, odd label lists,
 	// kind mismatches, negative counter deltas. Surfaced in both
 	// exposition formats as obs_misuse_total so broken instrumentation
@@ -81,10 +93,13 @@ type Registry struct {
 // NewRegistry builds an empty registry with a trace ring of
 // DefaultTraceCapacity spans.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		families: make(map[string]*family),
 		traces:   newTraceRing(DefaultTraceCapacity),
 	}
+	r.sampleRate.Store(math.Float64bits(1))
+	r.ledgers.capacity = DefaultLedgerCapacity
+	return r
 }
 
 // validName reports whether name matches the Prometheus metric/label

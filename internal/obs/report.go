@@ -1,0 +1,30 @@
+package obs
+
+// TraceReport is the run-level tracing summary a command dumps at exit
+// (mqorun/mqobench -trace-json): the SLO verdict, stage aggregates
+// across every retained query ledger, and the per-query ledgers
+// themselves. The traceguard CI gate consumes this file to assert that
+// billed stages account for the wall-clock of every query.
+type TraceReport struct {
+	SLO         SLOReport        `json:"slo"`
+	StageTotals []StageTotal     `json:"stage_totals"`
+	Queries     []LedgerSnapshot `json:"queries"`
+}
+
+// TraceReport aggregates the registry's retained ledgers and SLO state
+// into one report. Stage totals are merged across queries with the
+// same deterministic ordering as LedgerSnapshot.StageTotals.
+func (r *Registry) TraceReport() TraceReport {
+	queries := r.Ledgers()
+	// Merge per-query stage totals by flattening every ledger's entries
+	// into one synthetic snapshot and reusing its merge.
+	var all LedgerSnapshot
+	for _, q := range queries {
+		all.Entries = append(all.Entries, q.Entries...)
+	}
+	return TraceReport{
+		SLO:         r.SLOReport(),
+		StageTotals: all.StageTotals(),
+		Queries:     queries,
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metricSLOViolations counts queries whose total latency exceeded the
+// configured objective (catalog in README.md).
+const metricSLOViolations = "mqo_slo_violations_total"
+
+// maxSLOSamples bounds the retained latency samples the quantile is
+// computed over. Violation counting stays exact past the cap (every
+// sample is still compared to the objective); only the reported
+// quantile degrades to "over the most recent maxSLOSamples queries".
+const maxSLOSamples = 16384
+
+// SLO is a latency objective: "the Percentile-th quantile of query
+// latency stays at or under Objective". The error budget is the
+// allowed violation fraction, 1 − Percentile; burn rate is how fast
+// observed violations consume it (1.0 = exactly on budget).
+type SLO struct {
+	// Name labels the objective in metrics and reports (default
+	// "query_latency").
+	Name string `json:"name"`
+	// Objective is the latency bound.
+	Objective time.Duration `json:"objective_ns"`
+	// Percentile is the quantile the bound applies to, in (0, 1)
+	// (default 0.99).
+	Percentile float64 `json:"percentile"`
+}
+
+// SLOReport is the deterministic pass/fail verdict served by
+// /debug/slo.
+type SLOReport struct {
+	Configured  bool    `json:"configured"`
+	Name        string  `json:"name,omitempty"`
+	Percentile  float64 `json:"percentile,omitempty"`
+	ObjectiveMS float64 `json:"objective_ms,omitempty"`
+	// Samples is the total number of queries observed; Retained is how
+	// many back the quantile (== Samples until maxSLOSamples).
+	Samples  int `json:"samples"`
+	Retained int `json:"retained"`
+	// ObservedMS is the exact Percentile-th quantile over the retained
+	// samples (0 when none).
+	ObservedMS float64 `json:"observed_ms"`
+	// Violations counts samples over the objective — exact, never
+	// sampled down.
+	Violations uint64 `json:"violations"`
+	// BurnRate is the observed violation fraction divided by the error
+	// budget (1 − Percentile): <1 under budget, >1 burning it.
+	BurnRate float64 `json:"burn_rate"`
+	// Pass is the verdict: the observed quantile meets the objective
+	// (vacuously true with zero samples).
+	Pass bool `json:"pass"`
+}
+
+// sloState is the engine behind one registry's SLO.
+type sloState struct {
+	mu         sync.Mutex
+	cfg        SLO
+	configured bool
+	samples    []time.Duration // most recent maxSLOSamples, insertion order
+	next       int             // ring cursor once len == maxSLOSamples
+	total      uint64
+	violations uint64
+}
+
+// SetSLO installs (or replaces) the registry's latency objective.
+// Samples observed before the call are kept and re-judged against the
+// new objective only for the quantile — the violation counter restarts,
+// since "violation" is defined by the objective in force when the
+// sample arrived.
+func (r *Registry) SetSLO(s SLO) {
+	if s.Name == "" {
+		s.Name = "query_latency"
+	}
+	if !(s.Percentile > 0 && s.Percentile < 1) {
+		s.Percentile = 0.99
+	}
+	r.slo.mu.Lock()
+	r.slo.cfg = s
+	r.slo.configured = s.Objective > 0
+	r.slo.violations = 0
+	r.slo.mu.Unlock()
+}
+
+// recordSLOSample feeds one query's total latency to the engine
+// (called by Ledger.Close). No-op until SetSLO configures an
+// objective.
+func (r *Registry) recordSLOSample(total time.Duration) {
+	st := &r.slo
+	st.mu.Lock()
+	if !st.configured {
+		st.mu.Unlock()
+		return
+	}
+	st.total++
+	if len(st.samples) < maxSLOSamples {
+		st.samples = append(st.samples, total)
+	} else {
+		st.samples[st.next] = total
+		st.next = (st.next + 1) % maxSLOSamples
+	}
+	violated := total > st.cfg.Objective
+	if violated {
+		st.violations++
+	}
+	name := st.cfg.Name
+	st.mu.Unlock()
+	if violated {
+		r.Add(metricSLOViolations, 1, "slo", name)
+	}
+}
+
+// SLOReport computes the current verdict. The quantile is exact over
+// the retained samples: sort a copy, index ⌈p·n⌉−1 (the nearest-rank
+// method), no interpolation — two runs over the same workload produce
+// byte-identical reports.
+func (r *Registry) SLOReport() SLOReport {
+	st := &r.slo
+	st.mu.Lock()
+	rep := SLOReport{
+		Configured: st.configured,
+		Samples:    int(st.total),
+		Retained:   len(st.samples),
+		Violations: st.violations,
+		Pass:       true,
+	}
+	var cfg SLO
+	var samples []time.Duration
+	if st.configured {
+		cfg = st.cfg
+		samples = append([]time.Duration(nil), st.samples...)
+	}
+	st.mu.Unlock()
+	if !rep.Configured {
+		return rep
+	}
+	rep.Name = cfg.Name
+	rep.Percentile = cfg.Percentile
+	rep.ObjectiveMS = durMS(cfg.Objective)
+	if n := len(samples); n > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		idx := int(float64(n)*cfg.Percentile+0.9999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		observed := samples[idx]
+		rep.ObservedMS = durMS(observed)
+		rep.Pass = observed <= cfg.Objective
+	}
+	if rep.Samples > 0 {
+		violFrac := float64(rep.Violations) / float64(rep.Samples)
+		rep.BurnRate = violFrac / (1 - cfg.Percentile)
+	}
+	return rep
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// SLOHandler serves /debug/slo: the SLOReport as indented JSON. The
+// verdict doubles as the HTTP status — 200 on pass (or unconfigured),
+// 503 on fail — so probes need not parse the body.
+func SLOHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := r.SLOReport()
+		w.Header().Set("Content-Type", "application/json")
+		if !rep.Pass {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}

@@ -251,19 +251,28 @@ func (p *Pool) pick(rng *xrand.RNG, exclude int) (*replica, int, error) {
 
 // do runs one attempt on r, updating health state and feeding the
 // breaker. Cancellations (the caller gave up, or a hedge race was lost)
-// and client-side API errors do not count against the backend.
-func (p *Pool) do(ctx context.Context, r *replica, promptText string) (llm.Response, error) {
+// and client-side API errors do not count against the backend. The
+// attempt gets its own child span, and context-aware replicas receive
+// it so a remote hop (llm.HTTPPredictor) can continue the trace.
+func (p *Pool) do(ctx context.Context, r *replica, promptText string, hedge bool) (llm.Response, error) {
+	actx, sp := obs.StartSpanCtx(ctx, p.rec, "pool.attempt", "replica", r.label, "hedge", fmt.Sprint(hedge))
 	r.inflight.Add(1)
 	start := time.Now()
 	var resp llm.Response
 	var err error
 	if r.cp != nil {
-		resp, err = r.cp.QueryContext(ctx, promptText)
+		resp, err = r.cp.QueryContext(actx, promptText)
 	} else {
 		resp, err = r.p.Query(promptText)
 	}
 	r.inflight.Add(-1)
 	r.observe(time.Since(start).Seconds())
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+	} else {
+		sp.SetAttr("outcome", "ok")
+	}
+	sp.End()
 	p.judge(ctx, r, err)
 	return resp, err
 }
@@ -315,24 +324,51 @@ type result struct {
 // answers. When both attempts fail, the primary's error is returned.
 func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
 	rng := xrand.New(p.cfg.Seed ^ p.seq.Add(1))
+	_, psp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "primary")
 	first, firstIdx, err := p.pick(rng, -1)
 	if err != nil {
+		psp.SetAttr("verdict", "all_ejected")
+		psp.End()
 		return llm.Response{}, err
 	}
+	psp.SetAttr("replica", first.label)
+	psp.End()
 	if !p.cfg.Hedge || len(p.replicas) < 2 {
-		return p.do(ctx, first, promptText)
+		return p.do(ctx, first, promptText, false)
 	}
 
 	// Buffered to the maximum number of attempts: a losing goroutine
 	// completes its send and exits even after the winner returned, so a
 	// hedge race can never leak a goroutine.
 	ch := make(chan result, 2)
+	// won marks the race decided: the first successful attempt takes it
+	// and is billed as the winning path by the caller; every attempt
+	// completing after that (or failing while another won) ledgers its
+	// duplicate work as an unbilled hedge loss. The CAS runs in the
+	// attempt goroutine so a loser finishing after the caller moved on
+	// still books its loss against the query's ledger — Ledger.Close
+	// drops charges that arrive after the books are published.
+	var won atomic.Bool
+	launch := func(actx context.Context, rep *replica, hedge bool) {
+		go func() {
+			start := time.Now()
+			resp, err := p.do(actx, rep, promptText, hedge)
+			lost := false
+			if err == nil {
+				lost = !won.CompareAndSwap(false, true)
+			} else {
+				lost = won.Load()
+			}
+			if lost {
+				obs.Charge(ctx, obs.StageHedgeLoss, time.Since(start),
+					resp.InputTokens+resp.OutputTokens, false)
+			}
+			ch <- result{resp, err, hedge}
+		}()
+	}
 	ctx1, cancel1 := context.WithCancel(ctx)
 	defer cancel1()
-	go func() {
-		resp, err := p.do(ctx1, first, promptText)
-		ch <- result{resp, err, false}
-	}()
+	launch(ctx1, first, false)
 
 	timer := time.NewTimer(p.cfg.HedgeAfter)
 	defer timer.Stop()
@@ -345,20 +381,22 @@ func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Respons
 		select {
 		case <-timerC:
 			timerC = nil
+			_, hsp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "hedge")
 			second, _, perr := p.pick(rng, firstIdx)
 			if perr != nil {
 				// No healthy second replica; keep waiting on the first.
+				hsp.SetAttr("verdict", "all_ejected")
+				hsp.End()
 				continue
 			}
+			hsp.SetAttr("replica", second.label)
+			hsp.End()
 			p.rec.Add(metricHedges, 1)
 			var ctx2 context.Context
 			ctx2, cancel2 = context.WithCancel(ctx)
 			defer cancel2()
 			pending++
-			go func() {
-				resp, err := p.do(ctx2, second, promptText)
-				ch <- result{resp, err, true}
-			}()
+			launch(ctx2, second, true)
 		case r := <-ch:
 			pending--
 			if r.err == nil {

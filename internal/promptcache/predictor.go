@@ -2,8 +2,10 @@ package promptcache
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // Wrap fronts a predictor with the cache: hits answer from disk state,
@@ -64,12 +66,23 @@ type cachingCtxPredictor struct {
 }
 
 // QueryContext implements llm.ContextPredictor with the same
-// read-through behaviour as Query.
+// read-through behaviour as Query, plus tracing: the lookup gets a
+// child span (result=hit|miss), and hits charge the request's ledger
+// under the cache stage — unbilled, because the enclosing server
+// handler bills the whole serve to the predict stage and the ledger
+// must not count the same request twice.
 func (w *cachingCtxPredictor) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
 	k := KeyOf(w.ns, promptText)
+	start := time.Now()
+	_, sp := obs.StartSpanCtx(ctx, w.cache.rec, "cache.lookup")
 	if resp, ok := w.cache.Get(k); ok {
+		sp.SetAttr("result", "hit")
+		sp.End()
+		obs.Charge(ctx, obs.StageCache, time.Since(start), resp.InputTokens+resp.OutputTokens, false)
 		return resp, nil
 	}
+	sp.SetAttr("result", "miss")
+	sp.End()
 	resp, err := w.cp.QueryContext(ctx, promptText)
 	if err != nil {
 		return resp, err

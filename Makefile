@@ -20,13 +20,16 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # benchpool measures the replica pool's hedged-tail win (p99 with one
-# occasionally-stalling backend vs a 3-replica hedged pool) and appends
-# the result as one JSON line to BENCH_pool.json. The benchmark itself
-# fails unless hedging at least halves the p99.
+# occasionally-stalling backend vs a 3-replica hedged pool) and the
+# affinity scorer's cold-vs-warm shard win (warm misroute rate, guarded
+# at zero vs the P2C baseline), appending one JSON line each to
+# BENCH_pool.json. The benchmarks themselves fail unless hedging at
+# least halves the p99 and affinity keeps every warm prompt on its
+# owner.
 benchpool:
 	MQO_BENCH_JSON=$(CURDIR)/BENCH_pool.json \
-		$(GO) test -bench BenchmarkPoolHedgedTail -benchtime 3x -run '^$$' ./internal/pool/
-	@tail -n 1 BENCH_pool.json
+		$(GO) test -bench 'BenchmarkPoolHedgedTail|BenchmarkPoolAffinityColdWarm' -benchtime 3x -run '^$$' ./internal/pool/
+	@tail -n 2 BENCH_pool.json
 
 # fuzz smokes every fuzz target for a bounded interval (go test -fuzz
 # accepts one target per package invocation).

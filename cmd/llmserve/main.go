@@ -72,6 +72,7 @@ func main() {
 		upstreamModel = flag.String("upstream-model", "sim", "model identifier sent to the -upstreams endpoints")
 		hedge         = flag.Bool("hedge", false, "race a second upstream when the first outlives -hedge-after (needs >= 2 -upstreams)")
 		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge trigger delay (0 = 50ms default)")
+		affinity      = flag.Bool("affinity", false, "route each prompt to its cache-affine upstream (rendezvous over prompt-cache keys), so N llmserve nodes each keep their own cache shard warm")
 		breakerN      = flag.Int("breaker", 0, "consecutive transient failures that eject an upstream from rotation (0 = disabled)")
 		breakerCool   = flag.Duration("breaker-cooldown", 0, "how long an ejected upstream stays out before probing (0 = 30s default)")
 	)
@@ -124,17 +125,24 @@ func main() {
 			}
 			backends = append(backends, hp)
 		}
-		pl, err := pool.New(backends, pool.Config{
+		pcfg := pool.Config{
 			Hedge:      *hedge,
 			HedgeAfter: *hedgeAfter,
 			Breaker:    batch.BreakerConfig{Threshold: *breakerN, Cooldown: *breakerCool},
 			Obs:        reg,
-		})
+		}
+		if *affinity {
+			// Each upstream owns the rendezvous shard of the prompt-key
+			// space its own server-side cache has been accumulating, so
+			// a warm prompt is never re-bought from a cold upstream.
+			pcfg.Scorer = &pool.Affinity{}
+		}
+		pl, err := pool.New(backends, pcfg)
 		if err != nil {
 			log.Fatalf("llmserve: building upstream pool: %v", err)
 		}
 		served = pl
-		fmt.Printf("llmserve: pooling %d upstreams (hedge=%v)\n", pl.Size(), *hedge)
+		fmt.Printf("llmserve: pooling %d upstreams (hedge=%v affinity=%v)\n", pl.Size(), *hedge, *affinity)
 	}
 	if *cacheDir != "" {
 		// Server-side persistent cache: repeated prompts answer from disk

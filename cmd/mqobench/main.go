@@ -114,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Breaker:  ex.BreakerConfig(),
 				Replicas: ex.Replicas,
 				Hedge:    ex.Hedge, HedgeAfter: ex.HedgeAfter,
+				Affinity: ex.Affinity,
 			}
 			start := time.Now()
 			out, err := e.Run(cfg)

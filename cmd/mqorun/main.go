@@ -193,6 +193,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if ex.Hedge && ex.Replicas < 2 {
 		fmt.Fprintln(stderr, "mqorun: -hedge has no effect with fewer than 2 replicas")
 	}
+	if ex.Affinity && ex.Replicas < 2 {
+		fmt.Fprintln(stderr, "mqorun: -affinity has no effect with fewer than 2 replicas")
+	}
 	ecfg := core.ExecConfig{
 		Workers:      ex.Workers,
 		QPS:          ex.QPS,
@@ -201,6 +204,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ReplicaCount: ex.Replicas,
 		Hedge:        ex.Hedge,
 		HedgeAfter:   ex.HedgeAfter,
+		Affinity:     ex.Affinity,
 	}
 	// Persistent prompt cache: every stage below — baseline, inadequacy
 	// fitting, optimized run, boosting — shares the disk tier, and a

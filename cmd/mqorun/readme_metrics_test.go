@@ -27,7 +27,7 @@ func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 		"-method", "sns", "-prune", "0.3", "-boost", "-fallback",
 		"-workers", "4", "-qps", "10000", "-query-timeout", "5s",
 		"-breaker", "50", "-breaker-cooldown", "10ms",
-		"-replicas", "3", "-hedge", "-hedge-after", "1ms",
+		"-replicas", "3", "-hedge", "-hedge-after", "1ms", "-affinity",
 		"-cache-dir", filepath.Join(dir, "cache"),
 		"-fault-error", "0.1",
 		"-trace-sample", "1", "-slo-latency-p99", "30s",

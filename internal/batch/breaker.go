@@ -145,6 +145,26 @@ func (b *Breaker) Allow() error {
 	}
 }
 
+// Ready reports whether a request offered right now would plausibly be
+// admitted, without admitting one: closed always, open only once the
+// cooldown has elapsed (the next Allow would start a probe), half-open
+// only while no probe is in flight. Unlike Allow it reserves no probe
+// slot and emits no rejection metric, so routing layers can *rank*
+// replicas by readiness cheaply and leave admission — with its side
+// effects — to the one Allow call on the replica they actually chose.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cfg.Cooldown
+	default: // half-open
+		return !b.probing
+	}
+}
+
 // Cancel releases an admitted request without judging the backend:
 // the call never completed for a reason unrelated to backend health
 // (batch canceled, client-side 4xx). A half-open probe slot is freed

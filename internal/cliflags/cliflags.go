@@ -26,6 +26,7 @@ type Exec struct {
 	Replicas        int
 	Hedge           bool
 	HedgeAfter      time.Duration
+	Affinity        bool
 	CacheDir        string
 	CacheMaxBytes   int64
 	CacheTTL        time.Duration
@@ -44,6 +45,7 @@ func (e *Exec) Register(fs *flag.FlagSet) {
 	fs.IntVar(&e.Replicas, "replicas", 1, "replica slots in the predictor pool; > 1 enables health-aware routing with one breaker per replica")
 	fs.BoolVar(&e.Hedge, "hedge", false, "race a second replica when the first outlives -hedge-after (needs -replicas > 1)")
 	fs.DurationVar(&e.HedgeAfter, "hedge-after", 0, "hedge trigger delay (0 = 50ms default)")
+	fs.BoolVar(&e.Affinity, "affinity", false, "route each prompt to its cache-affine replica (rendezvous over prompt-cache keys; falls back to P2C when the owner is ejected or overloaded; needs -replicas > 1)")
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
 	fs.Int64Var(&e.CacheMaxBytes, "cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
 	fs.DurationVar(&e.CacheTTL, "cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
@@ -57,7 +59,7 @@ func Names() []string {
 	return []string{
 		"workers", "qps", "query-timeout",
 		"breaker", "breaker-cooldown",
-		"replicas", "hedge", "hedge-after",
+		"replicas", "hedge", "hedge-after", "affinity",
 		"cache-dir", "cache-max-bytes", "cache-ttl",
 		"trace-sample", "slo-latency-p99",
 	}

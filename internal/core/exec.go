@@ -242,6 +242,14 @@ type ExecConfig struct {
 	Hedge bool
 	// HedgeAfter is the hedge trigger delay (default pool.DefaultHedgeAfter).
 	HedgeAfter time.Duration
+	// Affinity routes each prompt to its cache-affine replica
+	// (rendezvous hashing of the prompt-cache key over the replica
+	// set) instead of pure latency×load P2C, falling back to P2C when
+	// the affine replica is ejected or overloaded. With per-replica
+	// disk caches (e.g. distinct llmserve upstreams) a warm prompt
+	// then never pays cold-replica tokens. Requires pooling (Replicas
+	// or ReplicaCount).
+	Affinity bool
 }
 
 // IsZero reports whether cfg is the zero configuration. ExecConfig
@@ -254,7 +262,7 @@ func (cfg ExecConfig) IsZero() bool {
 		!cfg.Cache && cfg.Disk == nil && cfg.CacheNamespace == "" &&
 		cfg.QueryTimeout == 0 && cfg.Breaker == (batch.BreakerConfig{}) &&
 		cfg.Fallback == nil && len(cfg.Replicas) == 0 && cfg.ReplicaCount == 0 &&
-		!cfg.Hedge && cfg.HedgeAfter == 0
+		!cfg.Hedge && cfg.HedgeAfter == 0 && !cfg.Affinity
 }
 
 // replicaSet resolves the pool's backend list: the explicit Replicas
@@ -285,11 +293,11 @@ func (cfg ExecConfig) batchConfig(rec obs.Recorder) batch.Config {
 		retries = -1 // core's default is no retries; -1 expresses that to batch
 	}
 	return batch.Config{
-		Workers:       workers,
-		QPS:           cfg.QPS,
-		MaxRetries:    retries,
-		RetryDelay:    cfg.RetryDelay,
-		MaxRetryDelay: cfg.MaxRetryDelay,
+		Workers:        workers,
+		QPS:            cfg.QPS,
+		MaxRetries:     retries,
+		RetryDelay:     cfg.RetryDelay,
+		MaxRetryDelay:  cfg.MaxRetryDelay,
 		BudgetTokens:   cfg.BudgetTokens,
 		Cache:          cfg.Cache,
 		Disk:           cfg.Disk,
@@ -407,12 +415,16 @@ func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.No
 // executor.
 func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode string) (*batch.Executor, error) {
 	if reps := cfg.replicaSet(p); reps != nil {
-		pl, err := pool.New(reps, pool.Config{
+		pcfg := pool.Config{
 			Hedge:      cfg.Hedge,
 			HedgeAfter: cfg.HedgeAfter,
 			Breaker:    cfg.Breaker,
 			Obs:        rec,
-		})
+		}
+		if cfg.Affinity {
+			pcfg.Scorer = &pool.Affinity{}
+		}
+		pl, err := pool.New(reps, pcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: building replica pool: %w", err)
 		}

@@ -3,7 +3,11 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,5 +227,185 @@ func TestSoakDeterministicAcrossReplicaCounts(t *testing.T) {
 				t.Fatalf("%s: node %d fell back at baseline but not here", label, v)
 			}
 		}
+	}
+}
+
+// countingPredictor counts the calls and tokens that actually reach
+// the inner predictor — the spend a per-replica cache failed to
+// absorb.
+type countingPredictor struct {
+	inner  llm.Predictor
+	calls  atomic.Int64
+	tokens atomic.Int64
+}
+
+func (c *countingPredictor) Name() string     { return c.inner.Name() }
+func (c *countingPredictor) Identity() string { return llm.IdentityOf(c.inner) }
+
+func (c *countingPredictor) Query(promptText string) (llm.Response, error) {
+	c.calls.Add(1)
+	resp, err := c.inner.Query(promptText)
+	if err == nil {
+		c.tokens.Add(int64(resp.InputTokens + resp.OutputTokens))
+	}
+	return resp, err
+}
+
+// poolAffinityCounters sums the pool's pick and affinity-hit families
+// across replica labels.
+func poolAffinityCounters(reg *obs.Registry) (picks, hits float64) {
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "mqo_pool_picks_total":
+			picks += s.Value
+		case "mqo_pool_affinity_hits_total":
+			hits += s.Value
+		}
+	}
+	return picks, hits
+}
+
+// TestSoakAffinityWarmPath pins the routing invariant the affinity
+// scorer converts from accident to guarantee: with one disk cache per
+// replica, a full-plan re-run pays ~zero predictor calls and tokens at
+// ANY replica count, hedging on or off, because every warm prompt is
+// routed back to the replica whose cache owns it. (Without affinity,
+// P2C re-scatters the second pass and each replica's cache misses
+// ~(n-1)/n of the prompts it never saw.) ≥99% of warm picks must be
+// affinity hits, and the warm results must be bit-identical to cold.
+func TestSoakAffinityWarmPath(t *testing.T) {
+	queries := soakQueries() / 2
+	f := newFixture(t, 2600, queries, 41)
+	m := predictors.KHopRandom{K: 1}
+	plan := Plan{Queries: f.split.Query}
+
+	for _, reps := range []int{1, 3, 5} {
+		for _, hedge := range []bool{false, true} {
+			t.Run(fmt.Sprintf("replicas=%d,hedge=%v", reps, hedge), func(t *testing.T) {
+				reg := obs.NewRegistry()
+				counter := &countingPredictor{inner: llm.NewSim(llm.GPT35(), f.g.Vocab, f.g.Classes, 13)}
+				replicas := make([]llm.Predictor, reps)
+				for i := range replicas {
+					pc, err := promptcache.Open(t.TempDir(), promptcache.Config{Obs: reg})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer pc.Close()
+					replicas[i] = promptcache.Wrap(counter, pc)
+				}
+				cfg := ExecConfig{
+					Workers:    8,
+					Replicas:   replicas,
+					Affinity:   true,
+					Hedge:      hedge,
+					HedgeAfter: 50 * time.Millisecond,
+				}
+
+				ctx := f.freshCtx()
+				ctx.Obs = reg
+				cold, err := ExecuteWith(ctx, m, replicas[0], plan, cfg)
+				if err != nil {
+					t.Fatalf("cold pass: %v", err)
+				}
+				coldCalls, coldTokens := counter.calls.Load(), counter.tokens.Load()
+				if coldCalls == 0 {
+					t.Fatal("cold pass reached the predictor zero times; the scenario is vacuous")
+				}
+				coldPicks, coldHits := poolAffinityCounters(reg)
+
+				wctx := f.freshCtx()
+				wctx.Obs = reg
+				warm, err := ExecuteWith(wctx, m, replicas[0], plan, cfg)
+				if err != nil {
+					t.Fatalf("warm pass: %v", err)
+				}
+				// "~0": the shards were populated by the cold pass, so a
+				// re-run routed by affinity pays nothing. Allow 1% slack
+				// for overload-guard trips under worker concurrency.
+				slack := int64(len(plan.Queries) / 100)
+				if got := counter.calls.Load() - coldCalls; got > slack {
+					t.Errorf("warm pass paid %d predictor calls (> %d) across %d replicas; warm prompts hit cold replicas",
+						got, slack, reps)
+				}
+				if got := counter.tokens.Load() - coldTokens; got > coldTokens/100 {
+					t.Errorf("warm pass paid %d predictor tokens (cold paid %d); want ~0", got, coldTokens)
+				}
+				warmPicks, warmHits := poolAffinityCounters(reg)
+				dPicks, dHits := warmPicks-coldPicks, warmHits-coldHits
+				if dPicks == 0 {
+					t.Fatal("warm pass recorded no picks")
+				}
+				if dHits < 0.99*dPicks {
+					t.Errorf("warm pass affinity hits %v / picks %v < 99%%", dHits, dPicks)
+				}
+				assertSameResults(t, "warm vs cold", cold, warm)
+			})
+		}
+	}
+}
+
+// deadPredictor fails every call — a permanently down backend.
+type deadPredictor struct{}
+
+func (deadPredictor) Name() string     { return "dead" }
+func (deadPredictor) Identity() string { return "dead" }
+func (deadPredictor) Query(string) (llm.Response, error) {
+	return llm.Response{}, errors.New("backend down")
+}
+func (deadPredictor) QueryContext(context.Context, string) (llm.Response, error) {
+	return llm.Response{}, errors.New("backend down")
+}
+
+// TestSoakAffinityEjectedOwnerDegrades is the acceptance criterion's
+// degraded half at plan scale: one replica — the rendezvous owner of
+// ~1/3 of the key space — is dead. Its breaker must eject it, its
+// shard must degrade to P2C over the healthy replicas (surfacing as
+// affinity misses), and no batch.ErrCircuitOpen may ever reach the
+// executor's error path: every query is answered by the LLM, no
+// fallback, no query errors.
+func TestSoakAffinityEjectedOwnerDegrades(t *testing.T) {
+	queries := soakQueries() / 2
+	f := newFixture(t, 2600, queries, 43)
+	m := predictors.KHopRandom{K: 1}
+	plan := Plan{Queries: f.split.Query}
+
+	reg := obs.NewRegistry()
+	counter := &countingPredictor{inner: llm.NewSim(llm.GPT35(), f.g.Vocab, f.g.Classes, 13)}
+	replicas := []llm.Predictor{deadPredictor{}, counter, counter}
+	cfg := ExecConfig{
+		Workers:  8,
+		Replicas: replicas,
+		Affinity: true,
+		// Retries re-enter the pool: the shard query that eats the
+		// ejection (two failures open the breaker) succeeds on its next
+		// attempt via the P2C fallback.
+		MaxRetries: 2,
+		RetryDelay: time.Millisecond,
+		Breaker:    batch.BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+	}
+
+	ctx := f.freshCtx()
+	ctx.Obs = reg
+	res, err := ExecuteWith(ctx, m, counter, plan, cfg)
+	if err != nil {
+		t.Fatalf("execution with one dead shard owner: %v", err)
+	}
+	if _, cov := PlanAccuracy(f.g, plan.Queries, res.Pred); cov != 1 {
+		t.Fatalf("coverage %v with a dead shard owner, want 1", cov)
+	}
+	if res.SurrogateAnswered() != 0 {
+		t.Fatalf("%d queries fell back; degradation should stay inside the pool", res.SurrogateAnswered())
+	}
+	var misses float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "mqo_pool_affinity_misses_total" {
+			misses += s.Value
+		}
+	}
+	if misses == 0 {
+		t.Fatal("no affinity misses recorded; the dead owner's shard never degraded through the scorer")
+	}
+	if got := reg.CounterValue("mqo_pool_ejected_total", "replica", "0"); got != 1 {
+		t.Errorf("dead owner ejections = %v, want 1", got)
 	}
 }

@@ -56,6 +56,10 @@ type Config struct {
 	Hedge bool
 	// HedgeAfter is the hedge trigger delay; 0 means the pool default.
 	HedgeAfter time.Duration
+	// Affinity routes each prompt to its cache-affine replica
+	// (rendezvous over prompt-cache keys) instead of pure P2C;
+	// effective only with Replicas > 1.
+	Affinity bool
 }
 
 // exec lowers the config's concurrency knobs for core.ExecuteWith and
@@ -67,6 +71,7 @@ func (cfg Config) exec() core.ExecConfig {
 		ReplicaCount: cfg.Replicas,
 		Hedge:        cfg.Hedge,
 		HedgeAfter:   cfg.HedgeAfter,
+		Affinity:     cfg.Affinity,
 	}
 }
 

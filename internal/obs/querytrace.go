@@ -12,8 +12,8 @@ import (
 // QueryTrace is the machine-readable form of one query's trace: the
 // span tree (as retained spans) plus the closed ledger, if any.
 type QueryTrace struct {
-	TraceID string         `json:"trace_id"`
-	Spans   []Trace        `json:"spans"`
+	TraceID string          `json:"trace_id"`
+	Spans   []Trace         `json:"spans"`
 	Ledger  *LedgerSnapshot `json:"ledger,omitempty"`
 	// Rendered is the human-readable tree, same as the text endpoint.
 	Rendered string `json:"rendered"`

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/promptcache"
 )
 
 // tailPred answers fast except for every slowEvery-th call on this
@@ -114,7 +115,7 @@ func BenchmarkPoolHedgedTail(b *testing.B) {
 	}
 
 	if path := os.Getenv("MQO_BENCH_JSON"); path != "" {
-		line, err := json.Marshal(map[string]any{
+		appendBenchJSON(b, path, map[string]any{
 			"bench":          "BenchmarkPoolHedgedTail",
 			"queries":        queries,
 			"slow_every":     slowEvery,
@@ -122,16 +123,121 @@ func BenchmarkPoolHedgedTail(b *testing.B) {
 			"p99_single_ms":  float64(p99Single.Microseconds()) / 1e3,
 			"p99_hedged_ms":  float64(p99Hedged.Microseconds()) / 1e3,
 		})
+	}
+}
+
+// appendBenchJSON appends one JSON line to the benchmark results file
+// (the Makefile benchpool target points MQO_BENCH_JSON at
+// BENCH_pool.json).
+func appendBenchJSON(b *testing.B, path string, fields map[string]any) {
+	b.Helper()
+	line, err := json.Marshal(fields)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPoolAffinityColdWarm measures the warm-path token win from
+// cache-affine routing: 3 replicas, each fronting its own disk cache
+// over a backend whose calls cost real latency. A cold sweep populates
+// the per-replica shards, then a warm re-run of the same prompts
+// measures *misroutes* — prompts sent to a replica whose cache never
+// saw them, each paying a full backend call. The affinity scorer is
+// guarded at zero warm misroutes (serial driver, healthy replicas:
+// the owner is always ready, so a single miss is a placement bug);
+// the P2C arm shows the cost of cache-blind routing on the same
+// workload, and must misroute — if it stops doing so, the baseline is
+// broken and the comparison meaningless.
+func BenchmarkPoolAffinityColdWarm(b *testing.B) {
+	const (
+		queries    = 400
+		replicas   = 3
+		backendLat = 500 * time.Microsecond
+	)
+	build := func(scorer Scorer) (*Pool, []*tailPred) {
+		inners := make([]*tailPred, replicas)
+		wrapped := make([]llm.Predictor, replicas)
+		for i := range wrapped {
+			inners[i] = &tailPred{fast: backendLat}
+			pc, err := promptcache.Open(b.TempDir(), promptcache.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { pc.Close() })
+			wrapped[i] = promptcache.Wrap(inners[i], pc)
+		}
+		pl, err := New(wrapped, Config{Scorer: scorer, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			b.Fatal(err)
+		return pl, inners
+	}
+	backendCalls := func(inners []*tailPred) int64 {
+		var n int64
+		for _, p := range inners {
+			n += p.calls.Load()
 		}
-		defer f.Close()
-		if _, err := f.Write(append(line, '\n')); err != nil {
-			b.Fatal(err)
+		return n
+	}
+	sweep := func(pl *Pool) time.Duration {
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := pl.QueryContext(context.Background(), fmt.Sprintf("q-%d", i)); err != nil {
+				b.Fatal(err)
+			}
 		}
+		return time.Since(start)
+	}
+
+	var affinityMisroutes, p2cMisroutes int64
+	var coldWall, warmWall time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		affPool, affInners := build(&Affinity{})
+		coldWall = sweep(affPool)
+		cold := backendCalls(affInners)
+		warmWall = sweep(affPool)
+		affinityMisroutes = backendCalls(affInners) - cold
+
+		p2cPool, p2cInners := build(nil)
+		sweep(p2cPool)
+		p2cCold := backendCalls(p2cInners)
+		sweep(p2cPool)
+		p2cMisroutes = backendCalls(p2cInners) - p2cCold
+	}
+	b.StopTimer()
+
+	affRate := float64(affinityMisroutes) / float64(queries)
+	p2cRate := float64(p2cMisroutes) / float64(queries)
+	b.ReportMetric(affRate, "warm-misroute-rate")
+	b.ReportMetric(p2cRate, "warm-misroute-rate-p2c")
+	b.ReportMetric(float64(coldWall.Microseconds())/1e3, "cold-ms")
+	b.ReportMetric(float64(warmWall.Microseconds())/1e3, "warm-ms")
+	if affinityMisroutes != 0 {
+		b.Fatalf("affinity warm pass misrouted %d/%d prompts; warm shards must stay pinned to their owner", affinityMisroutes, queries)
+	}
+	if p2cRate < 0.2 {
+		b.Fatalf("p2c baseline misrouted only %.2f of warm prompts; the comparison arm is broken", p2cRate)
+	}
+
+	if path := os.Getenv("MQO_BENCH_JSON"); path != "" {
+		appendBenchJSON(b, path, map[string]any{
+			"bench":                  "BenchmarkPoolAffinityColdWarm",
+			"queries":                queries,
+			"replicas":               replicas,
+			"backend_ms":             float64(backendLat.Microseconds()) / 1e3,
+			"warm_misroute_rate":     affRate,
+			"warm_misroute_rate_p2c": p2cRate,
+			"cold_ms":                float64(coldWall.Microseconds()) / 1e3,
+			"warm_ms":                float64(warmWall.Microseconds()) / 1e3,
+		})
 	}
 }

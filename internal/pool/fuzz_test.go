@@ -3,6 +3,7 @@ package pool
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -22,6 +23,10 @@ import (
 //     replica really is ejected;
 //   - once the cooldown elapses and probes succeed, the pool always
 //     recovers: every replica closes again and picks flow.
+//
+// The seed's low bit selects the scorer — even seeds run the default
+// P2C policy, odd seeds the rendezvous Affinity scorer — so both
+// routing brains face the same adversarial outcome sequences.
 func FuzzPoolPick(f *testing.F) {
 	f.Add(uint64(1), []byte{0, 1, 2, 3, 0, 1, 1, 1, 0})
 	f.Add(uint64(42), []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
@@ -35,10 +40,14 @@ func FuzzPoolPick(f *testing.F) {
 			&fakePred{name: "r1", id: "x"},
 			&fakePred{name: "r2", id: "x"},
 		}
-		pl, err := New(replicas, Config{
+		cfg := Config{
 			Breaker: batch.BreakerConfig{Threshold: 2, Cooldown: cooldown, HalfOpenProbes: 1},
 			Seed:    seed,
-		})
+		}
+		if seed%2 == 1 {
+			cfg.Scorer = &Affinity{}
+		}
+		pl, err := New(replicas, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +58,7 @@ func FuzzPoolPick(f *testing.F) {
 		transient := errors.New("backend down")
 
 		for i, op := range ops {
-			r, idx, err := pl.pick(rng, -1)
+			r, idx, _, err := pl.pick(pl.attempt(fmt.Sprintf("op-%d", i), rng))
 			if err != nil {
 				if !errors.Is(err, batch.ErrCircuitOpen) {
 					t.Fatalf("op %d: pick error = %v, want ErrCircuitOpen", i, err)
@@ -94,7 +103,7 @@ func FuzzPoolPick(f *testing.F) {
 		// every breaker and picks must flow again.
 		time.Sleep(2 * cooldown)
 		for i := 0; i < 200; i++ {
-			r, _, err := pl.pick(rng, -1)
+			r, _, _, err := pl.pick(pl.attempt(fmt.Sprintf("probe-%d", i), rng))
 			if err != nil {
 				time.Sleep(cooldown)
 				continue
@@ -115,7 +124,7 @@ func FuzzPoolPick(f *testing.F) {
 				t.Fatalf("replica %d never recovered: state %v after healthy probes", j, s)
 			}
 		}
-		if _, _, err := pl.pick(rng, -1); err != nil {
+		if _, _, _, err := pl.pick(pl.attempt("final", rng)); err != nil {
 			t.Fatalf("pick still refusing after full recovery: %v", err)
 		}
 	})

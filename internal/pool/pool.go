@@ -2,11 +2,16 @@
 // backends ("replicas") so that one slow or dead replica is no longer
 // the whole system's ceiling.
 //
-// Routing is health-aware: each replica carries an EWMA of its observed
-// latency and an in-flight counter, and every query picks between two
-// random candidates, taking the one with the lower latency×load score
-// (power-of-two-choices — near-optimal load spread without global
-// coordination). Each replica is guarded by its own circuit breaker
+// Routing is pluggable (Config.Scorer): a Scorer ranks the replica set
+// for every attempt and the pool takes the first admitted candidate.
+// The default P2C scorer is health-aware — each replica carries an
+// EWMA of its observed latency and an in-flight counter, and every
+// query picks between two random candidates, taking the one with the
+// lower latency×load score (power-of-two-choices — near-optimal load
+// spread without global coordination). The Affinity scorer instead
+// places each prompt's cache key on its rendezvous owner, so warm
+// prompt-cache shards never pay cold-replica tokens; see scorer.go.
+// Each replica is guarded by its own circuit breaker
 // (the exact state machine the batch executor uses), so a dead backend
 // is ejected from rotation without tripping a global breaker; when
 // every replica is ejected the pool fails fast with
@@ -33,22 +38,26 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/obs"
+	"repro/internal/promptcache"
 	"repro/internal/xrand"
 )
 
 // Metric names emitted by the pool; the full catalog lives in README.md
 // ("Observability").
 const (
-	metricPicks     = "mqo_pool_picks_total"
-	metricHedges    = "mqo_pool_hedges_total"
-	metricHedgeWins = "mqo_pool_hedge_wins_total"
-	metricEjected   = "mqo_pool_ejected_total"
+	metricPicks          = "mqo_pool_picks_total"
+	metricHedges         = "mqo_pool_hedges_total"
+	metricHedgeWins      = "mqo_pool_hedge_wins_total"
+	metricEjected        = "mqo_pool_ejected_total"
+	metricAffinityHits   = "mqo_pool_affinity_hits_total"
+	metricAffinityMisses = "mqo_pool_affinity_misses_total"
 )
 
 // DefaultHedgeAfter is the hedge trigger delay when hedging is enabled
@@ -71,8 +80,14 @@ type Config struct {
 	// Breaker configures the per-replica circuit breakers; the zero
 	// value disables them (every replica stays in rotation forever).
 	Breaker batch.BreakerConfig
-	// Seed drives the power-of-two-choices candidate picks
-	// deterministically (given a serial caller).
+	// Scorer ranks the replica set for each attempt; nil means the
+	// default P2C policy. Set &Affinity{} for cache-affine routing
+	// (rendezvous placement of prompt-cache keys) — warm shards then
+	// stay pinned to their owner and hedges go to the key's second
+	// hash choice.
+	Scorer Scorer
+	// Seed drives the scorer's candidate picks deterministically
+	// (given a serial caller).
 	Seed uint64
 	// Obs receives the pool's metrics; nil routes to the process
 	// default.
@@ -85,6 +100,14 @@ type replica struct {
 	cp    llm.ContextPredictor // non-nil when p supports cancellation
 	brk   *batch.Breaker       // nil when breakers are disabled
 	label string
+	// rid is the replica's rendezvous identity: the backend's
+	// answer-function identity, disambiguated with a stable #slot
+	// suffix when several slots share one backend. Keyed on identity —
+	// not on slot index alone — so the key→owner placement survives
+	// pool reconstruction, and growing an N-slot pool of one backend
+	// keeps the first N identities unchanged (only ~1/(n+1) of the key
+	// space moves to the new slot).
+	rid string
 
 	inflight atomic.Int64
 	ewma     atomic.Uint64 // float64 bits of the EWMA latency (seconds)
@@ -124,6 +147,13 @@ type Pool struct {
 	seq      atomic.Uint64
 	name     string
 	identity string
+	scorer   Scorer
+	// keyed marks that the configured scorer wants prompt-cache keys;
+	// ns is the pool's promptcache namespace those keys are derived in
+	// (identical to the namespace the disk-cache layers derive, so the
+	// scorer places exactly the keys the caches store).
+	keyed bool
+	ns    string
 }
 
 // New builds a pool over the given replicas. The same predictor value
@@ -150,6 +180,22 @@ func New(replicas []llm.Predictor, cfg Config) (*Pool, error) {
 		p.replicas = append(p.replicas, rep)
 	}
 	p.identity = foldIdentity(replicas)
+	p.scorer = cfg.Scorer
+	p.keyed = cfg.Scorer != nil
+	if p.scorer == nil {
+		p.scorer = P2C{}
+	}
+	p.ns = promptcache.Namespace(p)
+	seen := make(map[string]int, len(p.replicas))
+	for _, rep := range p.replicas {
+		id := llm.IdentityOf(rep.p)
+		if n := seen[id]; n > 0 {
+			rep.rid = fmt.Sprintf("%s#%d", id, n)
+		} else {
+			rep.rid = id
+		}
+		seen[id]++
+	}
 	return p, nil
 }
 
@@ -197,56 +243,73 @@ func (p *Pool) States() []batch.BreakerState {
 	return out
 }
 
-// pick chooses a replica by power-of-two-choices over the candidates
-// (every replica except exclude), then asks its breaker for admission.
-// If the chosen replica's breaker rejects, the remaining candidates are
-// scanned in index order; when every candidate is ejected, pick fails
-// with batch.ErrCircuitOpen.
-func (p *Pool) pick(rng *xrand.RNG, exclude int) (*replica, int, error) {
-	n := len(p.replicas)
-	m := n
-	if exclude >= 0 && exclude < n {
-		m = n - 1
-	}
-	if m <= 0 {
-		return nil, -1, batch.ErrCircuitOpen
-	}
-	// idx maps a candidate position in [0, m) to a replica index,
-	// skipping the excluded one.
-	idx := func(k int) int {
-		if exclude >= 0 && k >= exclude {
-			return k + 1
+// The pool is the View its scorer ranks against.
+
+// Len implements View.
+func (p *Pool) Len() int { return len(p.replicas) }
+
+// Score implements View: the replica's latency×load estimate.
+func (p *Pool) Score(i int) float64 { return p.replicas[i].score() }
+
+// Inflight implements View.
+func (p *Pool) Inflight(i int) int64 { return p.replicas[i].inflight.Load() }
+
+// ID implements View: the replica's stable rendezvous identity.
+func (p *Pool) ID(i int) string { return p.replicas[i].rid }
+
+// Ready implements View: whether the replica's breaker would plausibly
+// admit a request, without the side effects of Allow.
+func (p *Pool) Ready(i int) bool {
+	r := p.replicas[i]
+	return r.brk == nil || r.brk.Ready()
+}
+
+// pick routes one attempt: the scorer ranks the candidates and the
+// first replica whose breaker admits the request wins. Scorers express
+// preference, breakers keep authority — a replica the scorer loves is
+// still skipped while ejected — and when every candidate is refused,
+// pick fails with batch.ErrCircuitOpen. The returned verdict labels
+// the pick's affinity outcome ("hit" when it landed on the attempt's
+// cache-affine replica, "miss" when it had to leave one, "none" for
+// key-blind scorers) and is mirrored on the pool.pick span and the
+// mqo_pool_affinity_* counters.
+func (p *Pool) pick(a Attempt) (*replica, int, string, error) {
+	rk := p.scorer.Rank(a, p)
+	for _, i := range rk.Order {
+		if i < 0 || i >= len(p.replicas) || i == a.Exclude {
+			continue // a misbehaving scorer must not crash routing
 		}
-		return k
-	}
-	a := rng.Intn(m)
-	chosen := idx(a)
-	if m > 1 {
-		b := rng.Intn(m - 1)
-		if b >= a {
-			b++ // shift past the first pick so the candidates differ
-		}
-		if cand := idx(b); p.replicas[cand].score() < p.replicas[chosen].score() {
-			chosen = cand
-		}
-	}
-	if r := p.replicas[chosen]; r.brk == nil || r.brk.Allow() == nil {
-		p.rec.Add(metricPicks, 1, "replica", r.label)
-		return r, chosen, nil
-	}
-	// The P2C winner is ejected: fall back to the first candidate whose
-	// breaker admits the request.
-	for k := 0; k < m; k++ {
-		i := idx(k)
-		if i == chosen {
+		r := p.replicas[i]
+		if r.brk != nil && r.brk.Allow() != nil {
 			continue
 		}
-		if r := p.replicas[i]; r.brk == nil || r.brk.Allow() == nil {
-			p.rec.Add(metricPicks, 1, "replica", r.label)
-			return r, i, nil
+		p.rec.Add(metricPicks, 1, "replica", r.label)
+		verdict := "none"
+		if rk.Affine >= 0 && rk.Affine < len(p.replicas) {
+			if i == rk.Affine {
+				verdict = "hit"
+				p.rec.Add(metricAffinityHits, 1, "replica", r.label)
+			} else {
+				// Label the miss by the replica that *owns* the key, so
+				// a dashboard shows which shard is bleeding tokens.
+				verdict = "miss"
+				p.rec.Add(metricAffinityMisses, 1, "replica", p.replicas[rk.Affine].label)
+			}
 		}
+		return r, i, verdict, nil
 	}
-	return nil, -1, batch.ErrCircuitOpen
+	return nil, -1, "", batch.ErrCircuitOpen
+}
+
+// attempt builds the routing Attempt for one query, deriving the
+// prompt's cache key once when the scorer is key-aware (the hedge
+// re-pick reuses it).
+func (p *Pool) attempt(promptText string, rng *xrand.RNG) Attempt {
+	a := Attempt{Prompt: promptText, Exclude: -1, RNG: rng}
+	if p.keyed {
+		a.Key = promptcache.KeyOf(p.ns, promptText)
+	}
+	return a
 }
 
 // do runs one attempt on r, updating health state and feeding the
@@ -266,7 +329,14 @@ func (p *Pool) do(ctx context.Context, r *replica, promptText string, hedge bool
 		resp, err = r.p.Query(promptText)
 	}
 	r.inflight.Add(-1)
-	r.observe(time.Since(start).Seconds())
+	if ctx.Err() == nil {
+		// Only completed attempts teach the EWMA. A canceled attempt —
+		// hedge loser, caller gave up — measures the cancellation
+		// moment, not the backend: folding it in would score a
+		// slow-but-healthy replica by how fast its races get called
+		// off, poisoning routing against it.
+		r.observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		sp.SetAttr("outcome", "error")
 	} else {
@@ -316,6 +386,59 @@ type result struct {
 	hedge bool
 }
 
+// hedgeRace settles the hedge-loss books for one query. Exactly one
+// attempt may win (the first success); every other attempt's work is
+// duplicate and must be ledgered as an unbilled StageHedgeLoss — but
+// only if the race actually produced a winner. The subtle case is an
+// attempt that *errors while the race is still open*: whether its work
+// was a hedge loss is unknowable until the other attempt finishes, so
+// the charge is parked in pending and posted the moment a winner
+// appears. When no attempt ever wins, pending is dropped — a query
+// where every attempt failed has no "winning path" to duplicate, and
+// its cost surfaces as the query's error path, not as hedge waste. All
+// transitions run under one mutex so a loss is charged exactly once no
+// matter how the goroutines interleave.
+type hedgeRace struct {
+	ctx context.Context // the query context carrying the ledger
+
+	mu      sync.Mutex
+	won     bool
+	pending []pendingLoss
+}
+
+// pendingLoss is a failed attempt's cost, awaiting a winner.
+type pendingLoss struct {
+	wall   time.Duration
+	tokens int
+}
+
+// settle records one attempt's outcome and returns whether it won the
+// race.
+func (rc *hedgeRace) settle(err error, wall time.Duration, tokens int) (won bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err == nil {
+		if !rc.won {
+			rc.won = true
+			// A winner exists: every earlier failed attempt's work is
+			// now known to be duplicate. Post the parked charges.
+			for _, pl := range rc.pending {
+				obs.Charge(rc.ctx, obs.StageHedgeLoss, pl.wall, pl.tokens, false)
+			}
+			rc.pending = nil
+			return true
+		}
+		obs.Charge(rc.ctx, obs.StageHedgeLoss, wall, tokens, false)
+		return false
+	}
+	if rc.won {
+		obs.Charge(rc.ctx, obs.StageHedgeLoss, wall, tokens, false)
+		return false
+	}
+	rc.pending = append(rc.pending, pendingLoss{wall: wall, tokens: tokens})
+	return false
+}
+
 // QueryContext implements llm.ContextPredictor: pick a replica, run the
 // query, and — when hedging is on and the first attempt outlives
 // HedgeAfter — race a second replica against it. The first success
@@ -324,14 +447,16 @@ type result struct {
 // answers. When both attempts fail, the primary's error is returned.
 func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Response, error) {
 	rng := xrand.New(p.cfg.Seed ^ p.seq.Add(1))
-	_, psp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "primary")
-	first, firstIdx, err := p.pick(rng, -1)
+	att := p.attempt(promptText, rng)
+	_, psp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "primary", "scorer", p.scorer.Name())
+	first, firstIdx, verdict, err := p.pick(att)
 	if err != nil {
 		psp.SetAttr("verdict", "all_ejected")
 		psp.End()
 		return llm.Response{}, err
 	}
 	psp.SetAttr("replica", first.label)
+	psp.SetAttr("affinity", verdict)
 	psp.End()
 	if !p.cfg.Hedge || len(p.replicas) < 2 {
 		return p.do(ctx, first, promptText, false)
@@ -339,30 +464,18 @@ func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Respons
 
 	// Buffered to the maximum number of attempts: a losing goroutine
 	// completes its send and exits even after the winner returned, so a
-	// hedge race can never leak a goroutine.
+	// hedge race can never leak a goroutine. The hedgeRace settles loss
+	// charges in the attempt goroutine, so a loser finishing after the
+	// caller moved on still books against the query's ledger —
+	// Ledger.Close drops charges that arrive after the books are
+	// published.
 	ch := make(chan result, 2)
-	// won marks the race decided: the first successful attempt takes it
-	// and is billed as the winning path by the caller; every attempt
-	// completing after that (or failing while another won) ledgers its
-	// duplicate work as an unbilled hedge loss. The CAS runs in the
-	// attempt goroutine so a loser finishing after the caller moved on
-	// still books its loss against the query's ledger — Ledger.Close
-	// drops charges that arrive after the books are published.
-	var won atomic.Bool
+	rc := &hedgeRace{ctx: ctx}
 	launch := func(actx context.Context, rep *replica, hedge bool) {
 		go func() {
 			start := time.Now()
 			resp, err := p.do(actx, rep, promptText, hedge)
-			lost := false
-			if err == nil {
-				lost = !won.CompareAndSwap(false, true)
-			} else {
-				lost = won.Load()
-			}
-			if lost {
-				obs.Charge(ctx, obs.StageHedgeLoss, time.Since(start),
-					resp.InputTokens+resp.OutputTokens, false)
-			}
+			rc.settle(err, time.Since(start), resp.InputTokens+resp.OutputTokens)
 			ch <- result{resp, err, hedge}
 		}()
 	}
@@ -381,8 +494,15 @@ func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Respons
 		select {
 		case <-timerC:
 			timerC = nil
-			_, hsp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "hedge")
-			second, _, perr := p.pick(rng, firstIdx)
+			// The hedge excludes the primary's replica; under the
+			// Affinity scorer the ranking then starts at the key's
+			// second hash choice, so hedges stay on a replica that may
+			// have the prompt warm instead of a random cold one.
+			hatt := att
+			hatt.Hedge = true
+			hatt.Exclude = firstIdx
+			_, hsp := obs.StartSpanCtx(ctx, p.rec, "pool.pick", "kind", "hedge", "scorer", p.scorer.Name())
+			second, _, hverdict, perr := p.pick(hatt)
 			if perr != nil {
 				// No healthy second replica; keep waiting on the first.
 				hsp.SetAttr("verdict", "all_ejected")
@@ -390,6 +510,7 @@ func (p *Pool) QueryContext(ctx context.Context, promptText string) (llm.Respons
 				continue
 			}
 			hsp.SetAttr("replica", second.label)
+			hsp.SetAttr("affinity", hverdict)
 			hsp.End()
 			p.rec.Add(metricHedges, 1)
 			var ctx2 context.Context

@@ -197,6 +197,13 @@ type Options struct {
 	// it and the first answer wins (the loser is canceled). Effective
 	// only with Replicas > 1 or a ReplicaSet.
 	Hedge bool
+	// Affinity routes each prompt to its cache-affine replica:
+	// rendezvous hashing places the prompt-cache key on one owner in
+	// the replica set, so warm per-replica caches keep answering their
+	// shard for free; routing degrades to power-of-two-choices when
+	// the owner is ejected or overloaded. Effective only with pooling
+	// (Replicas > 1 or a ReplicaSet).
+	Affinity bool
 	// HedgeAfter is the hedge trigger delay; 0 means the pool default
 	// (50ms).
 	HedgeAfter time.Duration
@@ -231,6 +238,7 @@ func (o Options) execConfig() core.ExecConfig {
 		ReplicaCount: o.Replicas,
 		Hedge:        o.Hedge,
 		HedgeAfter:   o.HedgeAfter,
+		Affinity:     o.Affinity,
 	}
 }
 

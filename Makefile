@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard check
+.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard servesmoke check
 
 all: check
 
@@ -40,11 +40,12 @@ fuzz:
 	$(GO) test -fuzz FuzzSegmentReplay -fuzztime $(FUZZTIME) -run '^$$' ./internal/promptcache/
 
 # soak runs the chaos soak (replica pool + hedging + breakers + disk
-# cache + surrogate fallback under injected faults) with the race
-# detector. -short keeps CI at 2k query executions; drop it locally for
-# the full 10k.
+# cache + surrogate fallback under injected faults) and the serving-tier
+# soak (mixed-tenant coalescing + backpressure over /v1/query) with the
+# race detector. -short keeps CI at 2k query executions; drop it locally
+# for the full 10k.
 soak:
-	$(GO) test -race -tags soak -short -run 'TestSoak' ./internal/core/
+	$(GO) test -race -tags soak -short -run 'TestSoak' ./internal/core/ ./internal/serve/
 
 # chaos runs the fault-injection experiment at a fixed seed and asserts
 # that the surrogate fallback actually answered queries and that the
@@ -86,5 +87,14 @@ traceguard:
 		-trace-json traceguard.json -metrics-json traceguard-metrics.json > /dev/null
 	$(GO) run ./cmd/traceguard -trace traceguard.json -require-slo
 	rm -f traceguard.json traceguard-metrics.json
+
+# servesmoke proves the online serving tier end to end across a real
+# process boundary: llmserve starts with -serve, mixed-tenant
+# concurrent queries hit POST /v1/query, the coalescing metrics must be
+# nonzero and the SLO verdict 200, and SIGTERM must drain cleanly.
+servesmoke:
+	$(GO) build -o servesmoke-llmserve.bin ./cmd/llmserve
+	$(GO) run ./cmd/servesmoke -llmserve ./servesmoke-llmserve.bin; \
+		status=$$?; rm -f servesmoke-llmserve.bin; exit $$status
 
 check: build vet test race

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// healthz serves GET /healthz. Liveness is not the whole story: once
+// the process has begun draining, load balancers must stop routing to
+// it, so the handler flips to 503 "draining" the moment shutdown
+// starts instead of reporting 200 until the listener dies mid-request.
+type healthz struct {
+	model    string
+	dataset  string
+	start    time.Time
+	requests func() int
+	// draining is set by the signal handler before srv.Shutdown runs.
+	draining *atomic.Bool
+}
+
+func (z *healthz) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	if z.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"model":          z.model,
+		"dataset":        z.dataset,
+		"uptime_seconds": time.Since(z.start).Seconds(),
+		"requests":       z.requests(),
+	})
+}

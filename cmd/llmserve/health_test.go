@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthzFlipsToDraining is the regression test for the drain-
+// window bug: /healthz used to answer 200 "ok" for the entire graceful
+// shutdown, so load balancers kept routing to a dying process. The
+// handler must flip to 503 with a "draining" body the moment shutdown
+// begins.
+func TestHealthzFlipsToDraining(t *testing.T) {
+	var draining atomic.Bool
+	requests := 7
+	z := &healthz{
+		model:    "sim-gpt-3.5",
+		dataset:  "Cora",
+		start:    time.Now().Add(-time.Minute),
+		requests: func() int { return requests },
+		draining: &draining,
+	}
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		z.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var body map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("healthz body not JSON: %v", err)
+		}
+		return rr.Code, body
+	}
+
+	code, body := get()
+	if code != http.StatusOK {
+		t.Fatalf("live status = %d, want 200", code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("live body status = %v, want ok", body["status"])
+	}
+	if body["requests"] != float64(requests) {
+		t.Fatalf("requests = %v, want %d", body["requests"], requests)
+	}
+	if body["uptime_seconds"].(float64) <= 0 {
+		t.Fatal("uptime must be positive")
+	}
+
+	// The signal handler sets the flag before srv.Shutdown begins;
+	// every health check from then on must advertise the drain.
+	draining.Store(true)
+	code, body = get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", code)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("draining body status = %v, want draining", body["status"])
+	}
+}

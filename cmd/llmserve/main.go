@@ -28,7 +28,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,15 +37,20 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cliflags"
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/predictors"
 	"repro/internal/promptcache"
+	"repro/internal/serve"
 	"repro/internal/tag"
+	"repro/internal/xrand"
 )
 
 func main() {
@@ -76,6 +80,8 @@ func main() {
 		breakerN      = flag.Int("breaker", 0, "consecutive transient failures that eject an upstream from rotation (0 = disabled)")
 		breakerCool   = flag.Duration("breaker-cooldown", 0, "how long an ejected upstream stays out before probing (0 = 30s default)")
 	)
+	var sv cliflags.Serve
+	sv.Register(flag.CommandLine)
 	flag.Parse()
 
 	spec, err := tag.SpecByName(*dataset)
@@ -160,22 +166,49 @@ func main() {
 	h.RequireKey = *apiKey
 	h.Obs = reg
 
+	// The online serving tier fronts the same predictor stack with
+	// micro-batched, coalesced MQO plans; nil unless -serve is set.
+	var tier *serve.Server
+	if sv.Enabled {
+		method, err := predictors.ByName(sv.Method)
+		if err != nil {
+			log.Fatalf("llmserve: -serve-method: %v", err)
+		}
+		split := g.SplitPerClass(xrand.New(*seed+1), sv.Labeled, 0)
+		pctx := &predictors.Context{
+			Graph: g,
+			Known: predictors.KnownFromSplit(g, split),
+			M:     sv.M,
+			Seed:  *seed,
+			Obs:   reg,
+		}
+		scfg := sv.Config()
+		scfg.Obs = reg
+		tier, err = serve.New(pctx, method, served, scfg)
+		if err != nil {
+			log.Fatalf("llmserve: serving tier: %v", err)
+		}
+		fmt.Printf("llmserve: online query tier on %s (method=%s window=%v queue=%d)\n",
+			serve.QueryPath, method.Name(), scfg.Window, scfg.MaxQueue)
+	}
+
+	var draining atomic.Bool
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.Handle(llm.ChatCompletionsPath, h)
+	if tier != nil {
+		mux.Handle(serve.QueryPath, serve.Handler(tier))
+	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", obs.TraceHandler(reg))
 	mux.Handle("/debug/querytrace", obs.QueryTraceHandler(reg))
 	mux.Handle("/debug/slo", obs.SLOHandler(reg))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":         "ok",
-			"model":          p.Name,
-			"dataset":        g.Display,
-			"uptime_seconds": time.Since(start).Seconds(),
-			"requests":       h.Requests(),
-		})
+	mux.Handle("/healthz", &healthz{
+		model:    p.Name,
+		dataset:  g.Display,
+		start:    start,
+		requests: h.Requests,
+		draining: &draining,
 	})
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -214,10 +247,18 @@ func main() {
 		log.Fatalf("llmserve: %v", err)
 	case sig := <-sigCh:
 		fmt.Printf("llmserve: %v received, draining for up to %v...\n", sig, *drain)
+		// Flip /healthz to 503 before the listener starts refusing, so
+		// load balancers stop routing while in-flight work drains.
+		draining.Store(true)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("llmserve: shutdown: %v", err)
+		}
+		if tier != nil {
+			// HTTP requests are gone; answer anything still queued in
+			// the serving tier, then stop its batcher.
+			tier.Close()
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("llmserve: %v", err)

@@ -32,18 +32,7 @@ import (
 )
 
 func methodByName(name string) (predictors.Method, error) {
-	switch strings.ToLower(name) {
-	case "vanilla":
-		return predictors.Vanilla{}, nil
-	case "1-hop", "1hop":
-		return predictors.KHopRandom{K: 1}, nil
-	case "2-hop", "2hop":
-		return predictors.KHopRandom{K: 2}, nil
-	case "sns":
-		return predictors.SNS{}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (vanilla, 1-hop, 2-hop, sns)", name)
-	}
+	return predictors.ByName(name)
 }
 
 func main() {

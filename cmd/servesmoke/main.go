@@ -1,0 +1,229 @@
+// Command servesmoke is the online-serving smoke test CI runs: it
+// starts a real llmserve process with the serving tier enabled, drives
+// mixed-tenant concurrent queries through POST /v1/query, and asserts
+// the properties that make the tier worth shipping — cross-tenant
+// coalescing actually happened (mqo_serve_coalesced_total > 0), every
+// query was answered consistently, the SLO verdict is passing — then
+// SIGTERMs the process and requires a clean drain.
+//
+// Usage:
+//
+//	servesmoke -llmserve ./llmserve.bin
+//
+// Exit status 0 means the smoke passed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run() error {
+	bin := flag.String("llmserve", "", "path to a built llmserve binary")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	flag.Parse()
+	if *bin == "" {
+		return fmt.Errorf("-llmserve is required")
+	}
+	deadline := time.Now().Add(*timeout)
+
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+
+	cmd := exec.Command(*bin,
+		"-addr", addr,
+		"-serve",
+		"-batch-window", "5ms",
+		"-serve-workers", "4",
+		"-trace-sample", "1",
+		"-slo-latency-p99", "30s",
+		"-access-log=false",
+		"-drain", "10s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting llmserve: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	if err := waitHealthy(base, deadline); err != nil {
+		return err
+	}
+
+	// Mixed-tenant concurrent load: T tenants ask about the same small
+	// node set at once, so the micro-batch window and the serve memory
+	// both get exercised; coalescing must absorb most of the fan-in.
+	const tenants, nodes, rounds = 6, 8, 2
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for node := 0; node < nodes; node++ {
+					if err := postQuery(base, fmt.Sprintf("tenant-%d", ten), node); err != nil {
+						errCh <- fmt.Errorf("tenant %d node %d: %w", ten, node, err)
+						return
+					}
+				}
+			}
+		}(ten)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := requireMetric(metrics, "mqo_serve_queries_total"); err != nil {
+		return err
+	}
+	if err := requireMetric(metrics, "mqo_serve_coalesced_total"); err != nil {
+		return fmt.Errorf("%w (cross-tenant coalescing never happened)", err)
+	}
+	if err := requireMetric(metrics, "mqo_serve_window_flushes_total"); err != nil {
+		return err
+	}
+
+	resp, err := http.Get(base + "/debug/slo")
+	if err != nil {
+		return fmt.Errorf("/debug/slo: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/slo verdict = %d, want 200", resp.StatusCode)
+	}
+
+	// Clean drain on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signaling llmserve: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("llmserve exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		return fmt.Errorf("llmserve did not drain before the deadline")
+	}
+	return nil
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+func waitHealthy(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("llmserve never became healthy")
+}
+
+func postQuery(base, tenant string, node int) error {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query",
+		strings.NewReader(fmt.Sprintf(`{"node": %d}`, node)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Category string `json:"category"`
+		Tenant   string `json:"tenant"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if qr.Category == "" {
+		return fmt.Errorf("empty category in %s", body)
+	}
+	if qr.Tenant != tenant {
+		return fmt.Errorf("tenant %q echoed as %q", tenant, qr.Tenant)
+	}
+	return nil
+}
+
+// requireMetric asserts the Prometheus text exposition carries at
+// least one sample of the family with a nonzero value.
+func requireMetric(text, family string) error {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return nil
+		}
+	}
+	return fmt.Errorf("metric %s absent or zero in /metrics", family)
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}

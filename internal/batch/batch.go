@@ -107,6 +107,14 @@ type Config struct {
 	// Log, when non-nil, receives one JSON line per query outcome.
 	// Prompts are logged as SHA-256 digests, never as raw text.
 	Log io.Writer
+	// OnOutcome, when non-nil, is invoked once per request the moment
+	// its outcome settles — from the worker goroutine that finished it
+	// (or from Execute itself, for requests never dispatched because the
+	// context ended) — with no executor locks held. Online callers use
+	// it to answer per-request waiters before the whole batch returns.
+	// The callback runs on the worker's critical path, so it must not
+	// block for long.
+	OnOutcome func(Request, Outcome)
 	// Obs receives executor metrics (request outcomes, retries,
 	// throttle waits, in-flight gauge, per-attempt latency); nil routes
 	// to the process-default recorder.
@@ -319,9 +327,9 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 	work := make(chan Request)
 	var wg sync.WaitGroup
 	var outMu sync.Mutex
-	record := func(id string, o Outcome) {
+	record := func(r Request, o Outcome) {
 		outMu.Lock()
-		res.Outcomes[id] = o
+		res.Outcomes[r.ID] = o
 		switch {
 		case errors.Is(o.Err, ErrBudgetExhausted):
 			res.Skipped++
@@ -331,6 +339,9 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 			res.CacheHits++
 		}
 		outMu.Unlock()
+		if e.cfg.OnOutcome != nil {
+			e.cfg.OnOutcome(r, o)
+		}
 	}
 
 	rec := obs.Active(e.cfg.Obs)
@@ -343,7 +354,7 @@ func (e *Executor) Execute(ctx context.Context, reqs []Request) (*Result, error)
 				o := e.one(ctx, r, bud, tick, rec)
 				o.Finished = time.Now()
 				rec.Set(metricBatchInflight, float64(e.inflight.Add(-1)))
-				record(r.ID, o)
+				record(r, o)
 			}
 		}()
 	}
@@ -364,7 +375,7 @@ feed:
 	// Requests never dispatched because the context ended.
 	for _, r := range reqs {
 		if _, ok := res.Outcomes[r.ID]; !ok {
-			record(r.ID, Outcome{Err: ctx.Err()})
+			record(r, Outcome{Err: ctx.Err()})
 			rec.Add(metricBatchRequests, 1, "outcome", "undispatched")
 		}
 	}

@@ -82,7 +82,14 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 
 	rec := obs.Active(ctx.Obs)
 	// One executor serves every round, so its response cache (when
-	// enabled) persists across rounds.
+	// enabled) persists across rounds. The OnResult stream (if any) is
+	// rebound to each round's planned queries before that round
+	// dispatches; rounds are barriers, so the rebind is race-free.
+	var rs *resultStream
+	if ecfg.OnResult != nil {
+		rs = &resultStream{g: ctx.Graph, fb: ecfg.Fallback, hook: ecfg.OnResult}
+		ecfg.onOutcome = rs.onOutcome
+	}
 	ex, err := newPlanExecutor(p, ecfg, rec, "boost")
 	if err != nil {
 		return nil, nil, err
@@ -158,6 +165,9 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 				equipped: len(c.sel) > 0,
 				prompt:   predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0),
 			})
+		}
+		if rs != nil {
+			rs.bind(planned)
 		}
 		link := append(planLink(planSpan), "round", strconv.Itoa(round))
 		batchOut, err := dispatch(ex, planned, rec, "boost", link...)

@@ -250,6 +250,85 @@ type ExecConfig struct {
 	// then never pays cold-replica tokens. Requires pooling (Replicas
 	// or ReplicaCount).
 	Affinity bool
+	// OnResult, when non-nil, receives each plan entry's final outcome
+	// the moment the executor settles it — from worker goroutines,
+	// concurrently and in completion order — instead of only after the
+	// whole plan (or boosting round) returns. When Fallback is
+	// configured, a permanently failed entry is streamed with the
+	// surrogate's answer and Fallback set, exactly matching what the
+	// returned Results will record. The hook exists for online callers
+	// (the serve tier) that must answer each query's client without
+	// waiting for the rest of the coalesced batch; it runs on the
+	// worker's critical path and must not block for long.
+	OnResult func(QueryOutcome)
+
+	// onOutcome is the batch-level adapter derived from OnResult; set
+	// internally by ExecuteWith/BoostWith, never by callers.
+	onOutcome func(batch.Request, batch.Outcome)
+}
+
+// QueryOutcome is one settled plan entry as streamed to
+// ExecConfig.OnResult. Category is the answer recorded in
+// Results.Pred: the LLM's parsed category, or the surrogate's
+// prediction when Fallback answered (Err is then nil, mirroring how
+// ExecuteWith keeps fallback-answered queries out of QueryErrors).
+type QueryOutcome struct {
+	Node     tag.NodeID
+	Category string
+	Response llm.Response
+	// Pruned/Equipped mirror the plan entry's prompt shape.
+	Pruned   bool
+	Equipped bool
+	// Cached reports the answer came from a cache tier (memory,
+	// single-flight coalescing, or disk) instead of a fresh call.
+	Cached bool
+	// Fallback reports the surrogate answered after the LLM path failed
+	// permanently.
+	Fallback bool
+	// Err is the permanent failure when no fallback is configured.
+	Err error
+}
+
+// resultStream adapts batch outcomes into OnResult callbacks. The
+// planned-query index is rebound per dispatch (boosting rounds reuse
+// one executor across rounds); dispatch boundaries are barriers —
+// Execute returns only after every worker finished — so rebinding
+// needs no lock.
+type resultStream struct {
+	g    *tag.Graph
+	fb   *Surrogate
+	hook func(QueryOutcome)
+	byID map[string]plannedQuery
+}
+
+// bind indexes the next dispatch's planned queries by request ID.
+func (rs *resultStream) bind(planned []plannedQuery) {
+	m := make(map[string]plannedQuery, len(planned))
+	for _, q := range planned {
+		m[strconv.Itoa(int(q.v))] = q
+	}
+	rs.byID = m
+}
+
+// onOutcome implements batch.Config.OnOutcome.
+func (rs *resultStream) onOutcome(r batch.Request, o batch.Outcome) {
+	q, ok := rs.byID[r.ID]
+	if !ok {
+		return
+	}
+	out := QueryOutcome{
+		Node: q.v, Pruned: q.pruned, Equipped: q.equipped,
+		Response: o.Response, Cached: o.Cached, Err: o.Err,
+	}
+	switch {
+	case o.Err == nil:
+		out.Category = o.Response.Category
+	case rs.fb != nil:
+		out.Category = rs.fb.PredictNode(rs.g, q.v)
+		out.Fallback = true
+		out.Err = nil
+	}
+	rs.hook(out)
 }
 
 // IsZero reports whether cfg is the zero configuration. ExecConfig
@@ -262,7 +341,7 @@ func (cfg ExecConfig) IsZero() bool {
 		!cfg.Cache && cfg.Disk == nil && cfg.CacheNamespace == "" &&
 		cfg.QueryTimeout == 0 && cfg.Breaker == (batch.BreakerConfig{}) &&
 		cfg.Fallback == nil && len(cfg.Replicas) == 0 && cfg.ReplicaCount == 0 &&
-		!cfg.Hedge && cfg.HedgeAfter == 0 && !cfg.Affinity
+		!cfg.Hedge && cfg.HedgeAfter == 0 && !cfg.Affinity && cfg.OnResult == nil
 }
 
 // replicaSet resolves the pool's backend list: the explicit Replicas
@@ -304,6 +383,7 @@ func (cfg ExecConfig) batchConfig(rec obs.Recorder) batch.Config {
 		CacheNamespace: cfg.CacheNamespace,
 		QueryTimeout:   cfg.QueryTimeout,
 		Breaker:        cfg.Breaker,
+		OnOutcome:      cfg.onOutcome,
 		Obs:            rec,
 	}
 }
@@ -542,11 +622,19 @@ func Execute(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan
 func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, plan Plan, cfg ExecConfig) (*Results, error) {
 	rec := obs.Active(ctx.Obs)
 	res := &Results{Pred: make(map[tag.NodeID]string, len(plan.Queries)), Rounds: 1}
+	var rs *resultStream
+	if cfg.OnResult != nil {
+		rs = &resultStream{g: ctx.Graph, fb: cfg.Fallback, hook: cfg.OnResult}
+		cfg.onOutcome = rs.onOutcome
+	}
 	ex, err := newPlanExecutor(p, cfg, rec, "plain")
 	if err != nil {
 		return nil, err
 	}
 	planned := buildQueries(ctx, m, plan.Queries, plan.Prune)
+	if rs != nil {
+		rs.bind(planned)
+	}
 	// The plan span is its own trace; each query roots a separate trace
 	// (its ledger is keyed by trace ID) and links back via the
 	// plan_trace attribute.

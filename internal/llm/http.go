@@ -146,6 +146,11 @@ type chatErrorBody struct {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint, when it sent one
+	// (parsed from both delta-seconds and HTTP-date forms); zero
+	// otherwise. Retry schedules prefer it over their own backoff —
+	// ignoring it fights the server's backpressure.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -162,6 +167,28 @@ func retryable(status int) bool {
 // DefaultMaxRetryDelay is the default backoff ceiling shared by this
 // client and the batch executor.
 const DefaultMaxRetryDelay = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header value in either RFC 9110
+// form — delta-seconds ("120") or an HTTP-date — returning 0 for an
+// absent, malformed or already-elapsed value.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 // RetryBackoff returns the exponential backoff before retry attempt
 // (attempt ≥ 1 is the first retry): base doubled attempt−1 times,
@@ -210,6 +237,18 @@ func (c *HTTPPredictor) QueryContext(ctx context.Context, promptText string) (Re
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			delay := RetryBackoff(c.cfg.RetryBaseDelay, c.cfg.MaxRetryDelay, attempt)
+			// The server's Retry-After (typically on 429) overrides the
+			// local exponential schedule: it knows when capacity returns,
+			// and retrying earlier just fights its backpressure. Still
+			// capped at MaxRetryDelay so a hostile or buggy header cannot
+			// stall a worker for minutes.
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+				delay = apiErr.RetryAfter
+				if delay > c.cfg.MaxRetryDelay {
+					delay = c.cfg.MaxRetryDelay
+				}
+			}
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -271,7 +310,11 @@ func (c *HTTPPredictor) do(ctx context.Context, body []byte) (*chatResponse, err
 		if json.Unmarshal(raw, &eb) == nil && eb.Error.Message != "" {
 			msg = eb.Error.Message
 		}
-		return nil, &APIError{StatusCode: httpResp.StatusCode, Message: msg}
+		return nil, &APIError{
+			StatusCode: httpResp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now()),
+		}
 	}
 	var out chatResponse
 	if err := json.Unmarshal(raw, &out); err != nil {

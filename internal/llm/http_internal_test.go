@@ -1,0 +1,29 @@
+package llm
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name, header string
+		want         time.Duration
+	}{
+		{"delta seconds", "2", 2 * time.Second},
+		{"delta with spaces", "  120  ", 120 * time.Second},
+		{"zero", "0", 0},
+		{"negative", "-5", 0},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"empty", "", 0},
+		{"garbage", "soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.header, now); got != c.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", c.name, c.header, got, c.want)
+		}
+	}
+}

@@ -365,3 +365,116 @@ func TestHTTPConcurrentQueriesMeterRace(t *testing.T) {
 			c.Meter().InputTokens(), c.Meter().OutputTokens())
 	}
 }
+
+// retryAfterServer answers 429 with the given Retry-After header value
+// until failures have been served, then proxies to a real sim handler.
+func retryAfterServer(t *testing.T, failures int, header func() string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	g, _, _ := testGraphAndPrompt(t)
+	inner := llm.NewHandler(llm.NewSim(llm.GPT35(), g.Vocab, g.Classes, 9))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			w.Header().Set("Retry-After", header())
+			http.Error(w, `{"error":{"message":"slow down","type":"rate_limit_error"}}`,
+				http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestHTTPHonorsRetryAfterSeconds is the regression test for the
+// ignored-Retry-After bug: the client used to retry a 429 on its own
+// exponential schedule (1ms base here), fighting server backpressure.
+// The server demands 2s; with MaxRetryDelay capping it at 250ms, the
+// observed wait proves the header — not the exponential schedule —
+// set the delay.
+func TestHTTPHonorsRetryAfterSeconds(t *testing.T) {
+	_, promptText, _ := testGraphAndPrompt(t)
+	srv, calls := retryAfterServer(t, 1, func() string { return "2" })
+	c := newTestClient(t, srv.URL, func(cfg *llm.HTTPConfig) {
+		cfg.MaxRetryDelay = 250 * time.Millisecond
+	})
+
+	startAt := time.Now()
+	if _, err := c.Query(promptText); err != nil {
+		t.Fatalf("expected retry success, got %v", err)
+	}
+	elapsed := time.Since(startAt)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("waited %v before retrying, want >= 250ms (Retry-After capped at MaxRetryDelay); the exponential schedule alone would wait ~1ms", elapsed)
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("waited %v, want the 2s header capped at the 250ms MaxRetryDelay", elapsed)
+	}
+}
+
+// TestHTTPHonorsRetryAfterHTTPDate covers the HTTP-date form of the
+// header, which must be honored the same way as delta-seconds.
+func TestHTTPHonorsRetryAfterHTTPDate(t *testing.T) {
+	_, promptText, _ := testGraphAndPrompt(t)
+	srv, calls := retryAfterServer(t, 1, func() string {
+		return time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	})
+	c := newTestClient(t, srv.URL, func(cfg *llm.HTTPConfig) {
+		cfg.MaxRetryDelay = 250 * time.Millisecond
+	})
+
+	startAt := time.Now()
+	if _, err := c.Query(promptText); err != nil {
+		t.Fatalf("expected retry success, got %v", err)
+	}
+	elapsed := time.Since(startAt)
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("waited %v before retrying, want >= 250ms from the HTTP-date Retry-After", elapsed)
+	}
+}
+
+// TestHTTPMalformedRetryAfterFallsBack keeps the exponential schedule
+// when the header cannot be parsed.
+func TestHTTPMalformedRetryAfterFallsBack(t *testing.T) {
+	_, promptText, _ := testGraphAndPrompt(t)
+	srv, _ := retryAfterServer(t, 1, func() string { return "soon" })
+	c := newTestClient(t, srv.URL, nil)
+
+	startAt := time.Now()
+	if _, err := c.Query(promptText); err != nil {
+		t.Fatalf("expected retry success, got %v", err)
+	}
+	if elapsed := time.Since(startAt); elapsed > time.Second {
+		t.Fatalf("malformed header stalled the retry for %v", elapsed)
+	}
+}
+
+// TestHTTPRetryAfterSurfacesInAPIError asserts the parsed hint rides
+// the error so pools/executors can respect it too.
+func TestHTTPRetryAfterSurfacesInAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":{"message":"slow down","type":"rate_limit_error"}}`,
+			http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, func(cfg *llm.HTTPConfig) {
+		cfg.MaxRetries = 1
+		cfg.MaxRetryDelay = time.Millisecond
+	})
+
+	_, err := c.Query("whatever")
+	var apiErr *llm.APIError
+	if !asAPIError(err, &apiErr) {
+		t.Fatalf("error = %v, want wrapped APIError", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("APIError.RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+}

@@ -14,6 +14,7 @@ package predictors
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/encode"
 	"repro/internal/obs"
@@ -299,4 +300,21 @@ func KnownFromSplit(g *tag.Graph, split tag.Split) map[tag.NodeID]string {
 // order: 1-hop random, 2-hop random, SNS.
 func Standard() []Method {
 	return []Method{KHopRandom{K: 1}, KHopRandom{K: 2}, SNS{}}
+}
+
+// ByName resolves a method from its CLI spelling, the single source of
+// truth shared by mqorun, mqobench and llmserve's serving tier.
+func ByName(name string) (Method, error) {
+	switch strings.ToLower(name) {
+	case "vanilla":
+		return Vanilla{}, nil
+	case "1-hop", "1hop":
+		return KHopRandom{K: 1}, nil
+	case "2-hop", "2hop":
+		return KHopRandom{K: 2}, nil
+	case "sns":
+		return SNS{}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (vanilla, 1-hop, 2-hop, sns)", name)
+	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard servesmoke check
+.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard servesmoke loadsmoke benchload check
 
 all: check
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPoolPick -fuzztime $(FUZZTIME) -run '^$$' ./internal/pool/
 	$(GO) test -fuzz FuzzReplayLog -fuzztime $(FUZZTIME) -run '^$$' ./internal/batch/
 	$(GO) test -fuzz FuzzSegmentReplay -fuzztime $(FUZZTIME) -run '^$$' ./internal/promptcache/
+	$(GO) test -fuzz FuzzScenarioConfig -fuzztime $(FUZZTIME) -run '^$$' ./internal/load/
 
 # soak runs the chaos soak (replica pool + hedging + breakers + disk
 # cache + surrogate fallback under injected faults) and the serving-tier
@@ -87,6 +88,26 @@ traceguard:
 		-trace-json traceguard.json -metrics-json traceguard-metrics.json > /dev/null
 	$(GO) run ./cmd/traceguard -trace traceguard.json -require-slo
 	rm -f traceguard.json traceguard-metrics.json
+
+# loadsmoke is the CI load gate: the short deterministic "smoke"
+# scenario (fixed seed, sim predictor, open-loop Poisson arrivals)
+# drives the in-process serving tier, and the run fails on any SLO
+# violation, any client/server verdict disagreement, or a >1%
+# decode-error share. The generous 30s p99 objective makes the verdict
+# deterministic on any CI machine; the honest tail numbers live in
+# BENCH_load.json.
+loadsmoke:
+	$(GO) run ./cmd/mqoload -preset smoke -require-slo -max-decode-errors 0.01
+
+# benchload appends one report row per headline scenario (steady near
+# capacity, flood past it) to the committed BENCH_load.json trajectory:
+# p50/p95/p99 latency, tokens per query, coalescing and affinity rates,
+# 429 share, queue peak, and the SLO verdict cross-checked against the
+# same run's /debug/slo.
+benchload:
+	$(GO) run ./cmd/mqoload -preset steady -out BENCH_load.json -max-decode-errors 0
+	$(GO) run ./cmd/mqoload -preset flood -out BENCH_load.json -max-decode-errors 0
+	@tail -n 2 BENCH_load.json
 
 # servesmoke proves the online serving tier end to end across a real
 # process boundary: llmserve starts with -serve, mixed-tenant

@@ -1,0 +1,78 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestLoadNamesMatchesRegister pins LoadNames() to the flags
+// Load.Register actually installs.
+func TestLoadNamesMatchesRegister(t *testing.T) {
+	var l Load
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	l.Register(fs)
+	var installed []string
+	fs.VisitAll(func(f *flag.Flag) { installed = append(installed, f.Name) })
+	sort.Strings(installed)
+	names := LoadNames()
+	sort.Strings(names)
+	if len(installed) != len(names) {
+		t.Fatalf("Register installs %v, LoadNames() says %v", installed, names)
+	}
+	for i := range names {
+		if names[i] != installed[i] {
+			t.Fatalf("Register installs %v, LoadNames() says %v", installed, names)
+		}
+	}
+}
+
+// TestLoadScenarioResolution covers the preset path, the file path, and
+// the override knobs re-validating the result.
+func TestLoadScenarioResolution(t *testing.T) {
+	parse := func(t *testing.T, args ...string) Load {
+		t.Helper()
+		var l Load
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		l.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	l := parse(t, "-preset", "smoke", "-seed", "9", "-requests", "7", "-rate", "12.5")
+	sc, err := l.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 9 || sc.Requests != 7 || sc.Arrival.RatePerSec != 12.5 {
+		t.Errorf("overrides not applied: %+v", sc)
+	}
+
+	path := filepath.Join(t.TempDir(), "sc.json")
+	doc := []byte(`{"name": "f", "requests": 3,
+		"arrival": {"process": "poisson", "rate_per_sec": 5},
+		"tenants": {"count": 1}}`)
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l = parse(t, "-scenario", path)
+	if sc, err = l.Scenario(); err != nil || sc.Name != "f" {
+		t.Errorf("file scenario: %+v, %v", sc, err)
+	}
+
+	// An override that invalidates the scenario must fail validation.
+	l = parse(t, "-preset", "smoke", "-rate", "-1")
+	if _, err := l.Scenario(); err == nil {
+		t.Error("negative -rate override validated anyway")
+	}
+	empty := parse(t)
+	if _, err := empty.Scenario(); err == nil {
+		t.Error("no selection should error")
+	}
+}

@@ -107,6 +107,7 @@ func All() []Experiment {
 		{ID: "prefix-sharing", Title: "Section II-C: serving-level prefix sharing vs graph-aware pruning", Run: runPrefixSharing},
 		{ID: "concurrency", Title: "Concurrent plan execution: wall-clock speedup at identical results", Run: runConcurrency},
 		{ID: "faults", Title: "Fault tolerance: injected failures, timeouts, breaker, surrogate fallback", Run: runFaults},
+		{ID: "load", Title: "Load harness: open-loop scenarios, latency tail, SLO cross-check", Run: runLoad},
 	}
 }
 

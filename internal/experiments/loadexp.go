@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	loadpkg "repro/internal/load"
+	"repro/internal/tablefmt"
+)
+
+// runLoad replays the built-in load scenarios against the in-process
+// serving tier and tabulates what the open-loop driver observed: the
+// latency tail, the token cost per answered query, how much coalescing
+// bought, and whether the SLO verdict the server published agrees with
+// the client's stopwatch. It is the EXPERIMENTS.md anchor for the load
+// harness (cmd/mqoload drives the same runner with more knobs).
+//
+// Latency columns are hardware-dependent; the accounting columns
+// (requests classified, decode errors, verdict agreement) are the
+// reproducible part, and the run fails if any request decodes wrong.
+func runLoad(cfg Config) (string, error) {
+	scenarios := loadpkg.Presets()
+	if cfg.Fast {
+		// The two cheapest, most deterministic shapes: the CI gate and
+		// the backpressure flood.
+		scenarios = scenarios[:0:0]
+		for _, name := range []string{"smoke", "flood"} {
+			sc, ok := loadpkg.PresetByName(name)
+			if !ok {
+				return "", fmt.Errorf("load: preset %q missing", name)
+			}
+			sc.Requests /= 4
+			scenarios = append(scenarios, sc)
+		}
+	}
+	t := tablefmt.New("Load harness: open-loop scenarios vs the serving tier",
+		"scenario", "arrivals", "req", "ok", "429", "err", "p50 ms", "p99 ms",
+		"tok/q", "coalesce", "queue peak", "slo", "agree")
+	for _, sc := range scenarios {
+		if cfg.Seed != 0 {
+			sc.Seed = cfg.Seed
+		}
+		rep, err := loadpkg.Run(sc, loadpkg.Options{})
+		if err != nil {
+			return "", err
+		}
+		if rep.DecodeErrors > 0 {
+			return "", fmt.Errorf("load: scenario %q: %d responses violated the wire contract",
+				sc.Name, rep.DecodeErrors)
+		}
+		verdict := "-"
+		if rep.SLO.Configured {
+			verdict = "pass"
+			if !rep.SLO.Pass {
+				verdict = "FAIL"
+			}
+		}
+		t.AddRow(sc.Name,
+			fmt.Sprintf("%s@%.0f/s", sc.Arrival.Process, sc.Arrival.RatePerSec),
+			fmt.Sprintf("%d", rep.Requests),
+			fmt.Sprintf("%d", rep.OK),
+			fmt.Sprintf("%d", rep.Rejected),
+			fmt.Sprintf("%d", rep.Errors),
+			fmt.Sprintf("%.1f", rep.P50MS),
+			fmt.Sprintf("%.1f", rep.P99MS),
+			fmt.Sprintf("%.1f", rep.TokensPerQuery),
+			fmt.Sprintf("%.0f%%", 100*rep.CoalesceRate),
+			fmt.Sprintf("%d", rep.QueuePeak),
+			verdict,
+			fmt.Sprintf("%v", rep.SLOAgree),
+		)
+	}
+	return t.String(), nil
+}

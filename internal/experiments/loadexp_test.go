@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadExperiment runs the fast load sweep end to end: both fast
+// scenarios drive the real in-process serving tier, and the table must
+// carry a verdict column that agrees between client and server.
+func TestLoadExperiment(t *testing.T) {
+	out, err := runLoad(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"smoke", "flood", "p99 ms", "tok/q", "slo", "agree"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("load table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("fast load sweep violated its SLO:\n%s", out)
+	}
+}

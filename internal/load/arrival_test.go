@@ -1,0 +1,131 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestPoissonMoments checks the Poisson generator's inter-arrival gaps
+// against the exponential distribution's first two moments: mean 1/rate
+// and variance 1/rate². 50k samples put the sample mean within ~2% of
+// truth with overwhelming probability, so the 5%/15% tolerances fail
+// only on a genuinely wrong generator, not an unlucky seed.
+func TestPoissonMoments(t *testing.T) {
+	const (
+		n    = 50_000
+		rate = 200.0
+	)
+	sched, err := Arrival{Process: ProcessPoisson, RatePerSec: rate}.Schedule(7, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := make([]float64, n)
+	prev := time.Duration(0)
+	for i, at := range sched {
+		if at < prev {
+			t.Fatalf("schedule not nondecreasing at %d: %v < %v", i, at, prev)
+		}
+		gaps[i] = (at - prev).Seconds()
+		prev = at
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / n
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	variance := varsum / n
+
+	wantMean := 1 / rate
+	if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.05 {
+		t.Errorf("gap mean %.6fs, want %.6fs ± 5%% (off by %.1f%%)", mean, wantMean, 100*rel)
+	}
+	wantVar := 1 / (rate * rate)
+	if rel := math.Abs(variance-wantVar) / wantVar; rel > 0.15 {
+		t.Errorf("gap variance %.3e, want %.3e ± 15%% (off by %.1f%%)", variance, wantVar, 100*rel)
+	}
+}
+
+// TestBurstyDutyCycle pins the bursty schedule exactly: with rate
+// 1000/s and a 10ms-on/30ms-off cycle, arrival k sits at
+// (k mod 10)·1ms into its burst, bursts starting every 40ms. The duty
+// cycle is a property of construction, so the test asserts equality,
+// not tolerance.
+func TestBurstyDutyCycle(t *testing.T) {
+	a := Arrival{Process: ProcessBursty, RatePerSec: 1000, OnMS: 10, OffMS: 30}
+	const n = 100
+	sched, err := a.Schedule(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perBurst = 10 // on_ms / (1000ms/rate)
+	for k, at := range sched {
+		burst := k / perBurst
+		within := k % perBurst
+		want := time.Duration(burst)*40*time.Millisecond + time.Duration(within)*time.Millisecond
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v (burst %d, offset %d)", k, at, want, burst, within)
+		}
+	}
+	// Every arrival lands strictly inside an ON window.
+	for k, at := range sched {
+		phase := at % (40 * time.Millisecond)
+		if phase >= 10*time.Millisecond {
+			t.Fatalf("arrival %d at %v lands %v into the cycle — inside the OFF window", k, at, phase)
+		}
+	}
+}
+
+// TestScheduleDeterminism: the same (scenario, seed) must yield a
+// bit-identical schedule — the property that makes two topology runs
+// comparable under the exact same offered traffic — and a different
+// seed must yield a different Poisson schedule.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, a := range []Arrival{
+		{Process: ProcessPoisson, RatePerSec: 333},
+		{Process: ProcessBursty, RatePerSec: 500, OnMS: 7, OffMS: 13},
+	} {
+		s1, err := a.Schedule(42, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := a.Schedule(42, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: same seed produced different schedules", a.Process)
+		}
+	}
+	p1, _ := Arrival{Process: ProcessPoisson, RatePerSec: 333}.Schedule(42, 500)
+	p2, _ := Arrival{Process: ProcessPoisson, RatePerSec: 333}.Schedule(43, 500)
+	if reflect.DeepEqual(p1, p2) {
+		t.Error("poisson: different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleErrors: the generator rejects unusable parameters rather
+// than emitting a degenerate schedule.
+func TestScheduleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Arrival
+		n    int
+	}{
+		{"zero n", Arrival{Process: ProcessPoisson, RatePerSec: 10}, 0},
+		{"zero rate", Arrival{Process: ProcessPoisson}, 5},
+		{"unknown process", Arrival{Process: "uniform", RatePerSec: 10}, 5},
+		{"bursty no on", Arrival{Process: ProcessBursty, RatePerSec: 10}, 5},
+		{"bursty negative off", Arrival{Process: ProcessBursty, RatePerSec: 10, OnMS: 5, OffMS: -1}, 5},
+	}
+	for _, tc := range cases {
+		if _, err := tc.a.Schedule(1, tc.n); err == nil {
+			t.Errorf("%s: expected error, got schedule", tc.name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/tag"
 )
 
@@ -21,7 +22,10 @@ type QueryRequest struct {
 	Node int `json:"node"`
 }
 
-// QueryResponse is the success body.
+// QueryResponse is the success body. TraceID echoes the request's
+// serve.query trace (also sent as the X-Trace-Id header) so a client
+// can join its observed latency to /debug/querytrace; it is omitted
+// when tracing did not sample the request.
 type QueryResponse struct {
 	Node         int    `json:"node"`
 	Category     string `json:"category"`
@@ -31,6 +35,7 @@ type QueryResponse struct {
 	Fallback     bool   `json:"fallback"`
 	InputTokens  int    `json:"input_tokens"`
 	OutputTokens int    `json:"output_tokens"`
+	TraceID      string `json:"trace_id,omitempty"`
 }
 
 // errorBody mirrors the OpenAI-style error envelope the rest of the
@@ -84,6 +89,9 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if res.TraceID != "" {
+			w.Header().Set(obs.HeaderTraceID, res.TraceID)
+		}
 		_ = json.NewEncoder(w).Encode(QueryResponse{
 			Node:         int(res.Node),
 			Category:     res.Category,
@@ -93,6 +101,7 @@ func Handler(s *Server) http.Handler {
 			Fallback:     res.Fallback,
 			InputTokens:  res.Response.InputTokens,
 			OutputTokens: res.Response.OutputTokens,
+			TraceID:      res.TraceID,
 		})
 	})
 }

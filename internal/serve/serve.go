@@ -37,11 +37,12 @@ import (
 // Metric names emitted by the serve tier; the full catalog lives in
 // README.md ("Observability").
 const (
-	metricQueries    = "mqo_serve_queries_total"
-	metricCoalesced  = "mqo_serve_coalesced_total"
-	metricRejected   = "mqo_serve_rejected_total"
-	metricQueueDepth = "mqo_serve_queue_depth"
-	metricFlushes    = "mqo_serve_window_flushes_total"
+	metricQueries        = "mqo_serve_queries_total"
+	metricCoalesced      = "mqo_serve_coalesced_total"
+	metricRejected       = "mqo_serve_rejected_total"
+	metricQueueDepth     = "mqo_serve_queue_depth"
+	metricQueueDepthPeak = "mqo_serve_queue_depth_peak"
+	metricFlushes        = "mqo_serve_window_flushes_total"
 )
 
 // Admission-control rejections. Handlers map them to HTTP 429/503 with
@@ -102,6 +103,13 @@ type Config struct {
 	// Obs receives serve metrics and spans; nil routes to the
 	// process-default recorder.
 	Obs obs.Recorder
+	// Now and Sleep are the tier's clock seam: Now stamps request
+	// arrival and completion, Sleep holds the micro-batching window
+	// open. They default to time.Now and time.Sleep; the load harness
+	// and tests inject instrumented clocks to observe or compress
+	// window timing without changing scheduling behavior.
+	Now   func() time.Time
+	Sleep func(time.Duration)
 }
 
 // Result is one answered query.
@@ -120,6 +128,10 @@ type Result struct {
 	// Fallback reports the surrogate answered after the LLM path failed
 	// permanently (Exec.Fallback).
 	Fallback bool
+	// TraceID identifies the request's serve.query trace when tracing
+	// sampled it ("" otherwise); handlers echo it as X-Trace-Id so a
+	// client can join its latency to /debug/querytrace.
+	TraceID string
 }
 
 // pending is one admitted request waiting for its answer.
@@ -141,6 +153,15 @@ type delivery struct {
 	err error
 }
 
+// traceID returns the request's sampled trace ID ("" when tracing
+// skipped it).
+func (p *pending) traceID() string {
+	if p.span != nil && p.span.Sampled() {
+		return p.span.TraceID()
+	}
+	return ""
+}
+
 // entry is one unique node inside the executing window; every request
 // asking for that node waits on it.
 type entry struct {
@@ -157,11 +178,15 @@ type Server struct {
 	cfg    Config
 	rec    obs.Recorder
 
+	now   func() time.Time
+	sleep func(time.Duration)
+
 	mu       sync.Mutex
 	queue    []*pending
 	inflight map[tag.NodeID]*entry
 	answers  map[tag.NodeID]Result
 	spent    map[string]int
+	peak     int
 	draining bool
 
 	wake chan struct{}
@@ -203,12 +228,20 @@ func New(pctx *predictors.Context, m predictors.Method, p llm.Predictor, cfg Con
 		pred:     p,
 		cfg:      cfg,
 		rec:      obs.Active(cfg.Obs),
+		now:      cfg.Now,
+		sleep:    cfg.Sleep,
 		inflight: make(map[tag.NodeID]*entry),
 		answers:  make(map[tag.NodeID]Result),
 		spent:    make(map[string]int),
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.sleep == nil {
+		s.sleep = time.Sleep
 	}
 	go s.batcher()
 	return s, nil
@@ -223,6 +256,30 @@ func (s *Server) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// QueuePeak returns the admission queue's high-water mark since the
+// server started: the deepest the queue ever got, even if every window
+// since has flushed it back to zero. An open-loop flood that is over
+// before anyone scrapes /metrics still leaves its true peak here.
+func (s *Server) QueuePeak() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// noteQueueDepthLocked publishes the queue depth after every enqueue
+// and dequeue, keeping the gauge and the peak gauge truthful between
+// scrapes. The gauge used to be written outside the lock from racing
+// call sites, so a flush's zero could land after a newer enqueue's
+// depth; writing under s.mu serializes the samples in queue order.
+func (s *Server) noteQueueDepthLocked() {
+	d := len(s.queue)
+	if d > s.peak {
+		s.peak = d
+		s.rec.Set(metricQueueDepthPeak, float64(d))
+	}
+	s.rec.Set(metricQueueDepth, float64(d))
 }
 
 // TenantSpend returns the tokens delivered to one tenant so far.
@@ -242,7 +299,7 @@ func (s *Server) Submit(ctx context.Context, tenant string, node tag.NodeID) (Re
 		s.rec.Add(metricRejected, 1, "reason", "unknown_node")
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownNode, node)
 	}
-	enq := time.Now()
+	enq := s.now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -282,10 +339,9 @@ func (s *Server) Submit(ctx context.Context, tenant string, node tag.NodeID) (Re
 		return Result{}, ErrQueueFull
 	}
 	s.queue = append(s.queue, p)
-	depth := len(s.queue)
+	s.noteQueueDepthLocked()
 	s.openTrace(p)
 	s.mu.Unlock()
-	s.rec.Set(metricQueueDepth, float64(depth))
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -363,7 +419,7 @@ func (s *Server) batcher() {
 			continue
 		}
 		if !draining && s.cfg.Window > 0 {
-			time.Sleep(s.cfg.Window)
+			s.sleep(s.cfg.Window)
 		}
 		s.flush()
 	}
@@ -400,7 +456,7 @@ func interleave(batch []*pending) []*pending {
 // flush coalesces the queued requests into one plan and executes it,
 // delivering each request as its own entry settles.
 func (s *Server) flush() {
-	flushStart := time.Now()
+	flushStart := s.now()
 	s.mu.Lock()
 	batch := s.queue
 	s.queue = nil
@@ -408,6 +464,7 @@ func (s *Server) flush() {
 		s.mu.Unlock()
 		return
 	}
+	s.noteQueueDepthLocked()
 	var ready []*pending // answered while queued: deliver from memory
 	var entries []*entry
 	for _, p := range interleave(batch) {
@@ -415,6 +472,7 @@ func (s *Server) flush() {
 			p.tier = "memory"
 			s.chargeLocked(p.tenant, r)
 			r.Coalesced = true
+			r.TraceID = p.traceID()
 			p.ch <- delivery{res: r}
 			ready = append(ready, p)
 			continue
@@ -431,7 +489,6 @@ func (s *Server) flush() {
 		entries = append(entries, e)
 	}
 	s.mu.Unlock()
-	s.rec.Set(metricQueueDepth, 0)
 
 	for _, p := range ready {
 		s.rec.Add(metricCoalesced, 1, "tier", "memory")
@@ -520,6 +577,7 @@ func (s *Server) complete(q core.QueryOutcome, flushStart time.Time) {
 	for _, p := range waiters {
 		r := d.res
 		r.Coalesced = p.tier != ""
+		r.TraceID = p.traceID()
 		p.ch <- delivery{res: r, err: d.err}
 		s.finishTrace(p, flushStart, outcome)
 		s.rec.Add(metricQueries, 1, "outcome", outcome)
@@ -535,7 +593,7 @@ func (s *Server) finishTrace(p *pending, flushStart time.Time, outcome string) {
 	if p.span == nil {
 		return
 	}
-	end := time.Now()
+	end := s.now()
 	p.span.SetAttr("outcome", outcome)
 	if p.tier != "" {
 		p.span.SetAttr("coalesced", p.tier)

@@ -276,6 +276,55 @@ func TestQueueFullRejects(t *testing.T) {
 	wg.Wait()
 }
 
+// TestQueueDepthPeakGauge floods a gated predictor and asserts the
+// queue-depth gauge's high-water mark equals the observed bound — the
+// regression the load harness depends on: before the fix the gauge was
+// overwritten with 0 at flush (and written outside the lock), so an
+// open-loop flood that drained before a scrape reported peak depth 0.
+func TestQueueDepthPeakGauge(t *testing.T) {
+	f := newFixture(t, 300, 40, 37)
+	reg := obs.NewRegistry()
+	gate := &gatedPredictor{inner: f.freshSim(), gate: make(chan struct{})}
+	const maxQueue = 5
+	s := newServer(t, f, gate, Config{
+		Window: time.Millisecond, MaxQueue: maxQueue, Obs: reg,
+	})
+
+	var wg sync.WaitGroup
+	submit := func(v tag.NodeID) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), "flood", v); err != nil {
+				t.Errorf("admitted request failed: %v", err)
+			}
+		}()
+	}
+	// One request flushes into execution and blocks on the gate; the
+	// next maxQueue distinct nodes fill the admission queue to its bound.
+	submit(f.split.Query[0])
+	waitFor(t, func() bool { return len(s.inflightNodes()) > 0 })
+	for i := 1; i <= maxQueue; i++ {
+		submit(f.split.Query[i])
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == maxQueue })
+	// The current-depth gauge must already show the full queue while the
+	// flood is still live — enqueue-time updates, not flush sampling.
+	if got := reg.GaugeValue("mqo_serve_queue_depth"); got != maxQueue {
+		t.Fatalf("mqo_serve_queue_depth during flood = %v, want %d", got, maxQueue)
+	}
+	close(gate.gate)
+	wg.Wait()
+	// Drained: the live gauge returns to 0 but the peak must survive.
+	waitFor(t, func() bool { return s.QueueDepth() == 0 })
+	if got := s.QueuePeak(); got != maxQueue {
+		t.Fatalf("QueuePeak() = %d, want %d", got, maxQueue)
+	}
+	if got := reg.GaugeValue("mqo_serve_queue_depth_peak"); got != maxQueue {
+		t.Fatalf("mqo_serve_queue_depth_peak = %v, want %d (peak lost after drain)", got, maxQueue)
+	}
+}
+
 // TestTenantQuota exhausts one tenant's token budget and asserts the
 // next request is rejected while other tenants keep flowing.
 func TestTenantQuota(t *testing.T) {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchpool fuzz soak chaos warmcache traceguard servesmoke loadsmoke benchload check
+.PHONY: all build vet test race bench benchpool benchcompress fuzz soak chaos warmcache traceguard servesmoke loadsmoke benchload check
 
 all: check
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReplayLog -fuzztime $(FUZZTIME) -run '^$$' ./internal/batch/
 	$(GO) test -fuzz FuzzSegmentReplay -fuzztime $(FUZZTIME) -run '^$$' ./internal/promptcache/
 	$(GO) test -fuzz FuzzScenarioConfig -fuzztime $(FUZZTIME) -run '^$$' ./internal/load/
+	$(GO) test -fuzz FuzzCompress -fuzzminimizetime 10x -fuzztime $(FUZZTIME) -run '^$$' ./internal/prompt/
 
 # soak runs the chaos soak (replica pool + hedging + breakers + disk
 # cache + surrogate fallback under injected faults) and the serving-tier
@@ -108,6 +109,17 @@ benchload:
 	$(GO) run ./cmd/mqoload -preset steady -out BENCH_load.json -max-decode-errors 0
 	$(GO) run ./cmd/mqoload -preset flood -out BENCH_load.json -max-decode-errors 0
 	@tail -n 2 BENCH_load.json
+
+# benchcompress runs the standard prompt-compression sweep (levels 1-3
+# plus two token budgets on the calibration datasets) and appends one
+# JSON row per dataset to the committed BENCH_compress.json trajectory.
+# The benchmark itself is the guard: it fails unless level-1
+# compression saves >= 10% of metered input tokens on every dataset at
+# same-shape accuracy.
+benchcompress:
+	MQO_BENCH_JSON=$(CURDIR)/BENCH_compress.json \
+		$(GO) test -bench BenchmarkCompressSweep -benchtime 1x -run '^$$' ./internal/experiments/
+	@tail -n 3 BENCH_compress.json
 
 # servesmoke proves the online serving tier end to end across a real
 # process boundary: llmserve starts with -serve, mixed-tenant

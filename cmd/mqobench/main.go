@@ -115,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Replicas: ex.Replicas,
 				Hedge:    ex.Hedge, HedgeAfter: ex.HedgeAfter,
 				Affinity: ex.Affinity,
+				Compress: ex.Compress, TargetTokens: ex.TargetTokens,
 			}
 			start := time.Now()
 			out, err := e.Run(cfg)

@@ -78,16 +78,58 @@ func TestGoldenOutput(t *testing.T) {
 	}
 }
 
-// TestWarmRunMakesZeroPredictorCalls asserts the acceptance criterion
-// directly: a second identical mqorun against the same cache directory
-// performs zero predictor calls — the simulator's query counter never
-// increments, and the cache reports no misses.
-func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
+const goldenCompressFile = "testdata/golden_cora_compress.txt"
+
+// TestGoldenCompressOutput pins the same pipeline under the prompt
+// compressor: level-1 compression must reproduce its own committed
+// table byte-identically with the cache cold, warm, and at 8 workers —
+// and that table must differ from the uncompressed golden, or the flag
+// silently stopped reaching the executor.
+func TestGoldenCompressOutput(t *testing.T) {
 	cacheDir := t.TempDir()
-	runMain(t, "-cache-dir", cacheDir) // cold: populates the cache
+	compressArgs := []string{"-compress", "1", "-cache-dir", cacheDir}
+	cold := runMain(t, compressArgs...)
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenCompressFile, []byte(cold), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenCompressFile)
+	}
+	want, err := os.ReadFile(goldenCompressFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != string(want) {
+		t.Fatalf("cold compressed run diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenCompressFile, cold, want)
+	}
+	if plain, err := os.ReadFile(goldenFile); err != nil {
+		t.Fatal(err)
+	} else if cold == string(plain) {
+		t.Fatal("-compress 1 produced the uncompressed golden bytes: compression not applied")
+	}
+
+	for name, extra := range map[string][]string{
+		"warm":           {"-compress", "1", "-cache-dir", cacheDir},
+		"warm-8-workers": {"-compress", "1", "-cache-dir", cacheDir, "-workers", "8"},
+		"no-cache":       {"-compress", "1"},
+	} {
+		if got := runMain(t, extra...); got != string(want) {
+			t.Errorf("%s compressed run diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+// warmMetrics runs a cold run then an identical warm run against the
+// same cache directory (both with extra args appended) and returns a
+// summing lookup over the warm run's metrics snapshot.
+func warmMetrics(t *testing.T, extra ...string) func(name string) (float64, bool) {
+	t.Helper()
+	cacheDir := t.TempDir()
+	runMain(t, append([]string{"-cache-dir", cacheDir}, extra...)...) // cold: populates the cache
 
 	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
-	runMain(t, "-cache-dir", cacheDir, "-metrics-json", metricsPath)
+	runMain(t, append([]string{"-cache-dir", cacheDir, "-metrics-json", metricsPath}, extra...)...)
 
 	data, err := os.ReadFile(metricsPath)
 	if err != nil {
@@ -97,7 +139,7 @@ func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
 	if err := json.Unmarshal(data, &snaps); err != nil {
 		t.Fatalf("parsing %s: %v", metricsPath, err)
 	}
-	byName := func(name string) (float64, bool) {
+	return func(name string) (float64, bool) {
 		total, found := 0.0, false
 		for _, s := range snaps {
 			if s.Name == name {
@@ -107,6 +149,13 @@ func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
 		}
 		return total, found
 	}
+}
+
+// requireZeroPredictorCalls asserts the warm-cache acceptance
+// criterion on a metrics lookup: zero predictor calls, zero cache
+// misses, nonzero hits.
+func requireZeroPredictorCalls(t *testing.T, byName func(string) (float64, bool)) {
+	t.Helper()
 	if calls, found := byName("mqo_sim_queries_total"); found && calls != 0 {
 		t.Errorf("warm run paid %v predictor calls, want 0", calls)
 	}
@@ -116,5 +165,31 @@ func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
 	hits, found := byName("mqo_cache_hits_total")
 	if !found || hits == 0 {
 		t.Errorf("warm run recorded no cache hits (found=%v, hits=%v)", found, hits)
+	}
+}
+
+// TestWarmRunMakesZeroPredictorCalls asserts the acceptance criterion
+// directly: a second identical mqorun against the same cache directory
+// performs zero predictor calls — the simulator's query counter never
+// increments, and the cache reports no misses.
+func TestWarmRunMakesZeroPredictorCalls(t *testing.T) {
+	requireZeroPredictorCalls(t, warmMetrics(t))
+}
+
+// TestWarmCompressedRunMakesZeroPredictorCalls is the same criterion
+// under compression: the compressed cold run populates the versioned
+// v2+c1 cache namespace and the warm re-run must be served entirely
+// from it — compression changes the bytes being cached, never whether
+// caching works. The compression metric families must also be present:
+// compression ran on the warm path too (prompts are compressed before
+// the cache lookup), it just cost no predictor calls.
+func TestWarmCompressedRunMakesZeroPredictorCalls(t *testing.T) {
+	byName := warmMetrics(t, "-compress", "1")
+	requireZeroPredictorCalls(t, byName)
+	if saved, found := byName("mqo_prompt_compressed_tokens_total"); !found || saved <= 0 {
+		t.Errorf("warm compressed run reported no compressed tokens (found=%v, saved=%v)", found, saved)
+	}
+	if _, found := byName("mqo_prompt_compression_ratio"); !found {
+		t.Error("warm compressed run missing mqo_prompt_compression_ratio")
 	}
 }

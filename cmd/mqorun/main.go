@@ -194,6 +194,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Hedge:        ex.Hedge,
 		HedgeAfter:   ex.HedgeAfter,
 		Affinity:     ex.Affinity,
+		Compress:     ex.Compressor(),
 	}
 	// Persistent prompt cache: every stage below — baseline, inadequacy
 	// fitting, optimized run, boosting — shares the disk tier, and a
@@ -210,7 +211,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("opening prompt cache: %w", err)
 		}
 		defer pcache.Close()
-		cacheNS = promptcache.Namespace(pred)
+		cacheNS = promptcache.NamespaceVersion(pred, ecfg.Compress.TemplateVersion())
 		ecfg.Disk = pcache
 		ecfg.CacheNamespace = cacheNS
 	}
@@ -269,7 +270,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					return pcache.Contains(promptcache.KeyOf(cacheNS, promptText))
 				}
 			}
-			perQ, perN := core.EstimateQueryTokensCached(newCtx(), method, split.Query, 200, cached)
+			perQ, perN := core.EstimateQueryTokensCompressed(newCtx(), method, split.Query, 200, ecfg.Compress, cached)
 			var ok bool
 			tau, ok = core.TauForBudget(*budget, len(split.Query), perQ, perN)
 			if !ok {

@@ -15,7 +15,8 @@ import (
 // TestEveryEmittedMetricIsDocumented runs an instrumented execution
 // that lights up every subsystem — replicas with hedging, a breaker,
 // a QPS limiter, the disk cache, fault injection with retries and the
-// surrogate fallback, boosting, tracing and the SLO engine — then
+// surrogate fallback, boosting, prompt compression, tracing and the
+// SLO engine — then
 // checks each metric family the live registry emitted has a row in
 // README.md's catalog. A new metric without documentation fails here,
 // not in a user's dashboard.
@@ -29,6 +30,7 @@ func TestEveryEmittedMetricIsDocumented(t *testing.T) {
 		"-breaker", "50", "-breaker-cooldown", "10ms",
 		"-replicas", "3", "-hedge", "-hedge-after", "1ms", "-affinity",
 		"-cache-dir", filepath.Join(dir, "cache"),
+		"-compress", "1", "-target-tokens", "300",
 		"-fault-error", "0.1",
 		"-trace-sample", "1", "-slo-latency-p99", "30s",
 		"-metrics-json", metricsPath,

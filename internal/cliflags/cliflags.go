@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/obs"
+	"repro/internal/prompt"
 )
 
 // Exec holds the shared execution flags after parsing.
@@ -30,6 +31,8 @@ type Exec struct {
 	CacheDir        string
 	CacheMaxBytes   int64
 	CacheTTL        time.Duration
+	Compress        int
+	TargetTokens    int
 	TraceSample     float64
 	SLOLatencyP99   time.Duration
 }
@@ -49,6 +52,8 @@ func (e *Exec) Register(fs *flag.FlagSet) {
 	fs.StringVar(&e.CacheDir, "cache-dir", "", "persistent prompt-cache directory (empty = no disk cache)")
 	fs.Int64Var(&e.CacheMaxBytes, "cache-max-bytes", 0, "prompt-cache byte budget across shards (0 = unbounded)")
 	fs.DurationVar(&e.CacheTTL, "cache-ttl", 0, "prompt-cache entry lifetime (0 = never expires)")
+	fs.IntVar(&e.Compress, "compress", 0, "prompt-compression level 1..3: rank abstract spans by signal density and keep at most 4/2/1 per abstract (0 = off; versions the prompt-cache namespace)")
+	fs.IntVar(&e.TargetTokens, "target-tokens", 0, "per-query compressed token budget; sparsest spans keep dropping until each prompt fits (0 = level caps only; implies -compress 1)")
 	fs.Float64Var(&e.TraceSample, "trace-sample", 1, "fraction of query traces recorded with span trees and ledgers (0 = none, 1 = all)")
 	fs.DurationVar(&e.SLOLatencyP99, "slo-latency-p99", 0, "per-query p99 latency objective for the SLO engine (0 = disabled)")
 }
@@ -61,8 +66,15 @@ func Names() []string {
 		"breaker", "breaker-cooldown",
 		"replicas", "hedge", "hedge-after", "affinity",
 		"cache-dir", "cache-max-bytes", "cache-ttl",
+		"compress", "target-tokens",
 		"trace-sample", "slo-latency-p99",
 	}
+}
+
+// Compressor lowers the compression flags into the prompt stage's
+// configuration; the zero flags produce the disabled zero Compressor.
+func (e *Exec) Compressor() prompt.Compressor {
+	return prompt.Compressor{Level: e.Compress, TargetTokens: e.TargetTokens}
 }
 
 // ApplyObs lowers the tracing/SLO flags onto a registry: the sampling

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/prompt"
 	"repro/internal/serve"
 )
 
@@ -22,6 +23,8 @@ type Serve struct {
 	Labeled      int
 	M            int
 	Workers      int
+	Compress     int
+	TargetTokens int
 }
 
 // Register installs the serving flag group on fs. Call before
@@ -36,6 +39,11 @@ func (s *Serve) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Labeled, "serve-labeled", 20, "labeled nodes per class seeding the serving context")
 	fs.IntVar(&s.M, "serve-m", 4, "neighbors included per prompt by the serving tier")
 	fs.IntVar(&s.Workers, "serve-workers", 4, "concurrent LLM queries per coalesced window")
+	// Same flag names as the Exec group on purpose: no command registers
+	// both groups (llmserve owns its exec-ish flags itself), and keeping
+	// one spelling means scenarios, docs and muscle memory transfer.
+	fs.IntVar(&s.Compress, "compress", 0, "prompt-compression level 1..3 applied inside the micro-batch window (0 = off; versions the prompt-cache namespace)")
+	fs.IntVar(&s.TargetTokens, "target-tokens", 0, "per-query compressed token budget for served prompts (0 = level caps only; implies -compress 1)")
 }
 
 // ServeNames lists every flag Serve.Register installs, for the same
@@ -44,7 +52,7 @@ func ServeNames() []string {
 	return []string{
 		"serve", "batch-window", "serve-queue", "serve-retry-after",
 		"serve-tenant-budget", "serve-method", "serve-labeled",
-		"serve-m", "serve-workers",
+		"serve-m", "serve-workers", "compress", "target-tokens",
 	}
 }
 
@@ -57,6 +65,10 @@ func (s *Serve) Config() serve.Config {
 		MaxQueue:     s.MaxQueue,
 		RetryAfter:   s.RetryAfter,
 		TenantBudget: s.TenantBudget,
-		Exec:         core.ExecConfig{Workers: s.Workers, Cache: true},
+		Exec: core.ExecConfig{
+			Workers:  s.Workers,
+			Cache:    true,
+			Compress: prompt.Compressor{Level: s.Compress, TargetTokens: s.TargetTokens},
+		},
 	}
 }

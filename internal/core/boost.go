@@ -165,6 +165,9 @@ func BoostWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, pl
 				equipped: len(c.sel) > 0,
 				prompt:   predictors.BuildPrompt(ctx, c.v, c.sel, m.Ranked() && len(c.sel) > 0),
 			})
+			if ecfg.Compress.Enabled() {
+				planned[len(planned)-1].compress(ecfg.Compress, rec, "boost")
+			}
 		}
 		if rs != nil {
 			rs.bind(planned)

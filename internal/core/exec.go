@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/predictors"
+	"repro/internal/prompt"
 	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/token"
@@ -32,18 +33,20 @@ import (
 // Metric names emitted by plan execution; the full catalog lives in
 // README.md ("Observability").
 const (
-	metricQueries      = "mqo_queries_total"
-	metricQueryErrors  = "mqo_query_errors_total"
-	metricPruned       = "mqo_queries_pruned_total"
-	metricEquipped     = "mqo_queries_equipped_total"
-	metricInputTokens  = "mqo_input_tokens_total"
-	metricOutputTokens = "mqo_output_tokens_total"
-	metricQuerySeconds = "mqo_query_duration_seconds"
-	metricPseudoUses   = "mqo_pseudo_label_uses_total"
-	metricBoostRounds  = "mqo_boost_rounds_total"
-	metricBoostRound   = "mqo_boost_round"
-	metricBoostPending = "mqo_boost_pending_queries"
-	metricFallback     = "mqo_fallback_predictions_total"
+	metricQueries          = "mqo_queries_total"
+	metricQueryErrors      = "mqo_query_errors_total"
+	metricPruned           = "mqo_queries_pruned_total"
+	metricEquipped         = "mqo_queries_equipped_total"
+	metricInputTokens      = "mqo_input_tokens_total"
+	metricOutputTokens     = "mqo_output_tokens_total"
+	metricQuerySeconds     = "mqo_query_duration_seconds"
+	metricPseudoUses       = "mqo_pseudo_label_uses_total"
+	metricBoostRounds      = "mqo_boost_rounds_total"
+	metricBoostRound       = "mqo_boost_round"
+	metricBoostPending     = "mqo_boost_pending_queries"
+	metricFallback         = "mqo_fallback_predictions_total"
+	metricCompressedTokens = "mqo_prompt_compressed_tokens_total"
+	metricCompressionRatio = "mqo_prompt_compression_ratio"
 )
 
 // recordQuery emits the per-query metrics shared by Execute and Boost.
@@ -210,8 +213,17 @@ type ExecConfig struct {
 	Disk *promptcache.Cache
 	// CacheNamespace partitions the disk cache by answer function;
 	// empty derives it from the predictor identity and prompt-template
-	// version (promptcache.Namespace).
+	// version (promptcache.Namespace — versioned by Compress when
+	// compression is enabled).
 	CacheNamespace string
+	// Compress, when enabled, runs every planned prompt through the
+	// deterministic compression stage (prompt.Compressor) after
+	// construction and before dispatch: abstract spans are ranked by
+	// signal density and the sparsest dropped to meet the level caps
+	// and TargetTokens budget. Compression changes prompt bytes, so it
+	// feeds the default cache namespace via its TemplateVersion — a
+	// cached answer never crosses compression configurations.
+	Compress prompt.Compressor
 	// QueryTimeout bounds each predictor call (per attempt); 0 means no
 	// deadline. A hung call is abandoned with batch.ErrQueryTimeout, so
 	// one stuck prompt cannot stall the whole plan.
@@ -341,7 +353,8 @@ func (cfg ExecConfig) IsZero() bool {
 		!cfg.Cache && cfg.Disk == nil && cfg.CacheNamespace == "" &&
 		cfg.QueryTimeout == 0 && cfg.Breaker == (batch.BreakerConfig{}) &&
 		cfg.Fallback == nil && len(cfg.Replicas) == 0 && cfg.ReplicaCount == 0 &&
-		!cfg.Hedge && cfg.HedgeAfter == 0 && !cfg.Affinity && cfg.OnResult == nil
+		!cfg.Hedge && cfg.HedgeAfter == 0 && !cfg.Affinity && cfg.OnResult == nil &&
+		cfg.Compress == (prompt.Compressor{})
 }
 
 // replicaSet resolves the pool's backend list: the explicit Replicas
@@ -469,11 +482,31 @@ type plannedQuery struct {
 	pruned   bool
 	equipped bool
 	prompt   string
+	// compressWall/compressSaved record the compression stage's cost
+	// and payoff for this prompt; zero when compression is disabled or
+	// saved nothing. dispatch charges them into the query's ledger.
+	compressWall  time.Duration
+	compressSaved int
+}
+
+// compressQuery runs one planned prompt through the compression stage,
+// recording wall time, token savings and the per-mode metrics.
+func (q *plannedQuery) compress(comp prompt.Compressor, rec obs.Recorder, mode string) {
+	start := time.Now()
+	out, st := comp.CompressStats(q.prompt)
+	q.prompt = out
+	q.compressWall = time.Since(start)
+	q.compressSaved = st.Saved()
+	rec.Add(metricCompressedTokens, float64(st.Saved()), "mode", mode)
+	rec.Observe(metricCompressionRatio, st.Ratio(), "mode", mode)
 }
 
 // buildQueries materializes selections and prompts for the given nodes
 // on the calling goroutine, keeping Method and Context single-threaded.
-func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, prune map[tag.NodeID]bool) []plannedQuery {
+// With compression enabled each prompt is compressed in place, so
+// everything downstream — dispatch, caching, token metering — sees only
+// the compressed bytes.
+func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, prune map[tag.NodeID]bool, comp prompt.Compressor, rec obs.Recorder, mode string) []plannedQuery {
 	out := make([]plannedQuery, 0, len(queries))
 	for _, v := range queries {
 		var sel []predictors.Selected
@@ -486,6 +519,9 @@ func buildQueries(ctx *predictors.Context, m predictors.Method, queries []tag.No
 			equipped: len(sel) > 0,
 			prompt:   predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0),
 		})
+		if comp.Enabled() {
+			out[len(out)-1].compress(comp, rec, mode)
+		}
 	}
 	return out
 }
@@ -513,6 +549,14 @@ func newPlanExecutor(p llm.Predictor, cfg ExecConfig, rec obs.Recorder, mode str
 		// single dead replica must be ejected from rotation, not allowed
 		// to trip a breaker spanning the healthy ones.
 		cfg.Breaker = batch.BreakerConfig{}
+	}
+	// Compression rewrites prompt bytes, so a compressed run must not
+	// share the executor's default disk-cache namespace with the
+	// uncompressed template. Derive the versioned namespace here (after
+	// pool wrapping, so the identity folds replicas exactly like the
+	// executor's own default would).
+	if cfg.Disk != nil && cfg.CacheNamespace == "" && cfg.Compress.Enabled() {
+		cfg.CacheNamespace = promptcache.NamespaceVersion(p, cfg.Compress.TemplateVersion())
 	}
 	qp := p
 	if obs.Enabled(rec) {
@@ -586,6 +630,12 @@ func dispatch(ex *batch.Executor, planned []plannedQuery, rec obs.Recorder, mode
 		qctx, root := obs.StartSpanCtx(context.Background(), rec, "core.query", labels...)
 		if root.Sampled() {
 			led := obs.NewLedger(rec, root.TraceID(), mode+"/node:"+reqs[i].ID)
+			if q.compressWall > 0 || q.compressSaved > 0 {
+				// Unbilled: compression ran during planning, before this
+				// query's span opened, so its wall must not count against
+				// the billed tiling and its tokens were never metered.
+				led.Charge(obs.StageCompress, q.compressWall, q.compressSaved, false)
+			}
 			qctx = obs.ContextWithLedger(qctx, led)
 			traces[i] = queryTrace{root: root, led: led}
 		}
@@ -631,7 +681,7 @@ func ExecuteWith(ctx *predictors.Context, m predictors.Method, p llm.Predictor, 
 	if err != nil {
 		return nil, err
 	}
-	planned := buildQueries(ctx, m, plan.Queries, plan.Prune)
+	planned := buildQueries(ctx, m, plan.Queries, plan.Prune, cfg.Compress, rec, "plain")
 	if rs != nil {
 		rs.bind(planned)
 	}
@@ -726,6 +776,21 @@ func EstimateQueryTokens(ctx *predictors.Context, m predictors.Method, queries [
 // The lookup sees the fully-equipped prompt (the one a cache hit would
 // serve). nil behaves exactly like EstimateQueryTokens.
 func EstimateQueryTokensCached(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int, cached func(promptText string) bool) (perQuery, perNeighborText float64) {
+	return EstimateQueryTokensCompressed(ctx, m, queries, sample, prompt.Compressor{}, cached)
+}
+
+// EstimateQueryTokensCompressed is the full-fidelity estimator: it
+// sees both the disk cache (cached, may be nil) and the compression
+// stage (comp, zero value disables). With compression enabled every
+// sampled prompt — equipped and vanilla alike — is compressed before
+// counting, so TauForBudget's budget math prices queries at what
+// dispatch will actually pay and the two token-saving axes (τ-pruning
+// and compression) compose instead of double-counting. The cache
+// lookup sees the compressed equipped prompt: those are the bytes a
+// compressed run keys its cache with, so a warm entry contributes zero
+// marginal tokens exactly once — compression never discounts a prompt
+// the cache already discounted.
+func EstimateQueryTokensCompressed(ctx *predictors.Context, m predictors.Method, queries []tag.NodeID, sample int, comp prompt.Compressor, cached func(promptText string) bool) (perQuery, perNeighborText float64) {
 	if len(queries) == 0 {
 		return 0, 0
 	}
@@ -745,11 +810,11 @@ func EstimateQueryTokensCached(ctx *predictors.Context, m predictors.Method, que
 	var full, bare float64
 	for _, v := range sampled {
 		sel := m.Select(ctx, v)
-		withNb := predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0)
+		withNb := comp.Compress(predictors.BuildPrompt(ctx, v, sel, m.Ranked() && len(sel) > 0))
 		if cached != nil && cached(withNb) {
 			continue // zero marginal tokens: the answer is already on disk
 		}
-		vanilla := predictors.BuildPrompt(ctx, v, nil, false)
+		vanilla := comp.Compress(predictors.BuildPrompt(ctx, v, nil, false))
 		full += float64(token.Count(withNb))
 		bare += float64(token.Count(vanilla))
 	}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/prompt"
+	"repro/internal/tablefmt"
+)
+
+// compressSweep is the standard compression sweep: the uncompressed
+// baseline, the three level caps, and two per-query token budgets. The
+// benchcompress guard reruns the same sweep and fails CI when the
+// default level (c1) stops saving at least 10% of input tokens.
+func compressSweep() []struct {
+	Name string
+	Comp prompt.Compressor
+} {
+	return []struct {
+		Name string
+		Comp prompt.Compressor
+	}{
+		{"baseline", prompt.Compressor{}},
+		{"c1", prompt.Compressor{Level: 1}},
+		{"c2", prompt.Compressor{Level: 2}},
+		{"c3", prompt.Compressor{Level: 3}},
+		{"budget300", prompt.Compressor{Level: 1, TargetTokens: 300}},
+		{"budget200", prompt.Compressor{Level: 1, TargetTokens: 200}},
+	}
+}
+
+// compressCell is one (dataset, compressor) outcome.
+type compressCell struct {
+	acc    float64
+	tokens int
+}
+
+// runCompressSweep executes the full sweep on one dataset and returns
+// a cell per sweep entry, in sweep order. Abstracts are included on
+// neighbor entries — the compression stage's whole target is abstract
+// text, so the sweep exercises both the target's and the neighbors'.
+func runCompressSweep(name string, cfg Config) ([]compressCell, error) {
+	d, err := load(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sweep := compressSweep()
+	out := make([]compressCell, 0, len(sweep))
+	for _, s := range sweep {
+		ctx := d.ctx(cfg)
+		ctx.IncludeAbstracts = true
+		sim := d.sim(gpt35(), cfg)
+		ecfg := cfg.exec()
+		ecfg.Compress = s.Comp
+		res, err := core.ExecuteWith(ctx, khop1(), sim, core.Plan{Queries: d.split.Query}, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, compressCell{
+			acc:    core.Accuracy(d.g, res.Pred),
+			tokens: res.Meter.InputTokens(),
+		})
+	}
+	return out, nil
+}
+
+// runCompress regenerates the prompt-compression evaluation: accuracy
+// and metered input tokens for the standard sweep on the calibration
+// datasets. The headline claim is the acceptance criterion of ROADMAP
+// item 3 — same-shape accuracy at measurably fewer input tokens, a
+// second token-saving axis multiplicative with the paper's τ-pruning.
+func runCompress(cfg Config) (string, error) {
+	sweep := compressSweep()
+	var b strings.Builder
+	for _, name := range smallNames {
+		cells, err := runCompressSweep(name, cfg)
+		if err != nil {
+			return "", errf("compress", err)
+		}
+		d, err := load(name, cfg)
+		if err != nil {
+			return "", errf("compress", err)
+		}
+		t := tablefmt.New(
+			fmt.Sprintf("Prompt compression (%s, 1-hop random with abstracts): accuracy vs input tokens", d.spec.Display),
+			"Config", "Accuracy", "Input tokens", "Saved")
+		base := cells[0]
+		for i, s := range sweep {
+			c := cells[i]
+			saved := "—"
+			if i > 0 && base.tokens > 0 {
+				saved = tablefmt.Pct(float64(base.tokens-c.tokens) / float64(base.tokens))
+			}
+			t.AddRow(s.Name, tablefmt.Pct(c.acc), fmt.Sprintf("%d", c.tokens), saved)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

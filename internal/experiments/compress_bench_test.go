@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+// BenchmarkCompressSweep runs the standard compression sweep on the
+// calibration datasets and guards the headline claim: level-1
+// compression must save at least 10% of metered input tokens on every
+// dataset while staying within sameShapePts accuracy points of the
+// uncompressed baseline. A regression in the span splitter, the
+// density scoring or the threading (e.g. compression silently not
+// applied) fails the benchmark, not just drifts a number. With
+// MQO_BENCH_JSON set (the Makefile benchcompress target), one JSON
+// line per dataset is appended to the committed BENCH_compress.json.
+func BenchmarkCompressSweep(b *testing.B) {
+	const (
+		minSaving    = 0.10 // the ROADMAP item 3 acceptance floor
+		sameShapePts = 10.0 // max accuracy drop, percentage points
+	)
+	cfg := Config{Seed: 5, Fast: true}
+	sweep := compressSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range smallNames {
+			cells, err := runCompressSweep(name, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := cells[0]
+			if base.tokens <= 0 {
+				b.Fatalf("%s: baseline metered zero input tokens", name)
+			}
+			row := map[string]any{
+				"bench":           "BenchmarkCompressSweep",
+				"dataset":         name,
+				"baseline_tokens": base.tokens,
+				"baseline_acc":    base.acc,
+			}
+			for j, s := range sweep[1:] {
+				c := cells[j+1]
+				saving := float64(base.tokens-c.tokens) / float64(base.tokens)
+				row[s.Name+"_tokens"] = c.tokens
+				row[s.Name+"_acc"] = c.acc
+				row[s.Name+"_saving"] = math.Round(saving*1000) / 1000
+				if s.Name != "c1" {
+					continue
+				}
+				if saving < minSaving {
+					b.Fatalf("%s: level-1 compression saves %.1f%% input tokens, guard is %.0f%%",
+						name, saving*100, minSaving*100)
+				}
+				if drop := (base.acc - c.acc) * 100; drop > sameShapePts {
+					b.Fatalf("%s: level-1 compression drops accuracy %.1f points, guard is %.0f",
+						name, drop, sameShapePts)
+				}
+			}
+			if path := os.Getenv("MQO_BENCH_JSON"); path != "" && i == 0 {
+				appendBenchJSON(b, path, row)
+			}
+		}
+	}
+}
+
+// appendBenchJSON appends one JSON line to the benchmark results file
+// (the Makefile benchcompress target points MQO_BENCH_JSON at
+// BENCH_compress.json).
+func appendBenchJSON(b *testing.B, path string, fields map[string]any) {
+	b.Helper()
+	line, err := json.Marshal(fields)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		b.Fatal(err)
+	}
+}

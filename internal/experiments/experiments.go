@@ -14,6 +14,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/llm"
 	"repro/internal/predictors"
+	"repro/internal/prompt"
 	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -60,6 +61,12 @@ type Config struct {
 	// (rendezvous over prompt-cache keys) instead of pure P2C;
 	// effective only with Replicas > 1.
 	Affinity bool
+	// Compress (level 1..3) and TargetTokens configure the prompt-
+	// compression stage for every experiment's plan execution; zero
+	// disables it. The compress experiment sweeps its own settings
+	// regardless.
+	Compress     int
+	TargetTokens int
 }
 
 // exec lowers the config's concurrency knobs for core.ExecuteWith and
@@ -72,6 +79,7 @@ func (cfg Config) exec() core.ExecConfig {
 		Hedge:        cfg.Hedge,
 		HedgeAfter:   cfg.HedgeAfter,
 		Affinity:     cfg.Affinity,
+		Compress:     prompt.Compressor{Level: cfg.Compress, TargetTokens: cfg.TargetTokens},
 	}
 }
 
@@ -108,6 +116,7 @@ func All() []Experiment {
 		{ID: "concurrency", Title: "Concurrent plan execution: wall-clock speedup at identical results", Run: runConcurrency},
 		{ID: "faults", Title: "Fault tolerance: injected failures, timeouts, breaker, surrogate fallback", Run: runFaults},
 		{ID: "load", Title: "Load harness: open-loop scenarios, latency tail, SLO cross-check", Run: runLoad},
+		{ID: "compress", Title: "Prompt compression: accuracy vs input tokens across levels and budgets", Run: runCompress},
 	}
 }
 

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"gnn-baseline", "ablation-channels", "ablation-scheduling",
 		"ablation-gamma", "ablation-m", "ablation-encoder",
 		"cost-projection", "prefix-sharing", "concurrency", "faults",
-		"load",
+		"load", "compress",
 	}
 	all := All()
 	if len(all) != len(want) {

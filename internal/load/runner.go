@@ -16,6 +16,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
+	"repro/internal/prompt"
 	"repro/internal/serve"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -209,6 +210,7 @@ func startInProcess(sc Scenario, g *tag.Graph) (*httptest.Server, *serve.Server,
 			Hedge:        sc.Topology.Hedge,
 			HedgeAfter:   time.Duration(sc.Topology.HedgeAfterMS * float64(time.Millisecond)),
 			Affinity:     sc.Topology.Affinity,
+			Compress:     prompt.Compressor{Level: sc.Topology.Compress, TargetTokens: sc.Topology.TargetTokens},
 		},
 	}
 	tier, err := serve.New(pctx, method, pred, scfg)

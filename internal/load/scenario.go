@@ -22,6 +22,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/prompt"
 )
 
 // Arrival processes.
@@ -145,6 +147,12 @@ type Topology struct {
 	Method  string `json:"method,omitempty"`
 	M       int    `json:"m,omitempty"`
 	Labeled int    `json:"labeled,omitempty"`
+	// Compress (level 1..3) enables the prompt-compression stage inside
+	// each coalesced window, and TargetTokens additionally caps each
+	// compressed prompt's token count — the -compress/-target-tokens
+	// flags, scenario-pinned.
+	Compress     int `json:"compress,omitempty"`
+	TargetTokens int `json:"target_tokens,omitempty"`
 }
 
 // ParseScenario strictly decodes and validates one scenario document:
@@ -265,6 +273,9 @@ func (sc Scenario) Validate() error {
 	if t.HedgeAfterMS < 0 || t.WindowMS < 0 || t.MaxQueue < 0 || t.QueryTimeoutMS < 0 ||
 		t.Workers < 1 || t.M < 1 || t.Labeled < 1 {
 		return fmt.Errorf("load: scenario %q: topology knob out of range: %+v", sc.Name, t)
+	}
+	if t.Compress < 0 || t.Compress > prompt.MaxCompressLevel || t.TargetTokens < 0 {
+		return fmt.Errorf("load: scenario %q: compress must be 0..%d and target_tokens >= 0", sc.Name, prompt.MaxCompressLevel)
 	}
 	if sc.SLOP99MS < 0 {
 		return fmt.Errorf("load: scenario %q: negative slo_p99_ms", sc.Name)

@@ -15,15 +15,16 @@ const DefaultLedgerCapacity = 256
 // instrumentation sticks to this vocabulary so dashboards and the
 // traceguard can rely on it.
 const (
-	StageQueue     = "queue"      // executor queue wait (submit → worker pickup)
-	StageCache     = "cache"      // memory/coalesced/disk cache resolution
-	StagePredict   = "predict"    // winning predictor call
-	StageRetry     = "retry"      // failed attempts that were retried
-	StageBackoff   = "backoff"    // sleep between attempts
-	StageBreaker   = "breaker"    // time lost to circuit-breaker rejections
-	StageThrottle  = "throttle"   // QPS ticker wait
-	StageExec      = "exec"       // executor overhead not in any stage above
-	StageHedgeLoss = "hedge_loss" // losing hedge attempts (never billed)
+	StageQueue     = "queue"           // executor queue wait (submit → worker pickup)
+	StageCache     = "cache"           // memory/coalesced/disk cache resolution
+	StagePredict   = "predict"         // winning predictor call
+	StageRetry     = "retry"           // failed attempts that were retried
+	StageBackoff   = "backoff"         // sleep between attempts
+	StageBreaker   = "breaker"         // time lost to circuit-breaker rejections
+	StageThrottle  = "throttle"        // QPS ticker wait
+	StageExec      = "exec"            // executor overhead not in any stage above
+	StageHedgeLoss = "hedge_loss"      // losing hedge attempts (never billed)
+	StageCompress  = "prompt.compress" // prompt compression during planning (never billed)
 )
 
 // LedgerEntry is one charge against a query's ledger: wall-clock and

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"unicode/utf8"
+
+	"repro/internal/token"
 )
 
 // FuzzParse hardens the prompt parser against adversarial or corrupted
@@ -67,6 +69,77 @@ func FuzzParseResponse(f *testing.F) {
 		}
 		if !utf8.ValidString(c) && utf8.ValidString(s) {
 			t.Fatalf("invalid UTF-8 category %q from valid input", c)
+		}
+	})
+}
+
+// FuzzCompress hardens the compression stage against arbitrary input
+// under arbitrary configurations. Four properties, each load-bearing
+// for a cache or planner layer downstream:
+//
+//  1. Never panics (implicit), and text that does not parse as Build
+//     output comes back byte-identical — the compressor must not
+//     corrupt what it cannot read.
+//  2. Idempotence: compress∘compress == compress, so a prompt passing
+//     through two compression-aware layers is untouched by the second.
+//  3. Budget: with TargetTokens set, the output fits the budget — or
+//     equals the structural floor (what TargetTokens: 1 produces) when
+//     the budget is infeasible for this prompt.
+//  4. Parse still recovers the target node: the first line (target
+//     title) is untouched and the compressed prompt parses with the
+//     same category list.
+func FuzzCompress(f *testing.F) {
+	f.Add(Build(compressSample()), 1, 0)
+	f.Add(Build(compressSample()), 2, 150)
+	f.Add(Build(compressSample()), 3, 1)
+	f.Add(Build(Request{
+		TargetTitle:    "t",
+		TargetAbstract: "an abstract. with sentences. and a tail",
+		Neighbors:      []Neighbor{{Title: "n", Abstract: "words here. more words"}},
+		Categories:     []string{"A"},
+	}), 0, 40)
+	f.Add("Target paper: Title: x \nAbstract:  \nTask: \nCategories: \n[A]\n", 3, 10)
+	f.Add("not a prompt at all", 2, 5)
+	f.Add("", 1, 1)
+
+	f.Fuzz(func(t *testing.T, s string, level, target int) {
+		if level < 0 {
+			level = -level
+		}
+		if target < 0 {
+			target = -target
+		}
+		c := Compressor{Level: level % (MaxCompressLevel + 1), TargetTokens: target % 2048}
+		out := c.Compress(s)
+
+		parsedIn, inErr := Parse(s)
+		if inErr != nil || !c.Enabled() {
+			if out != s {
+				t.Fatalf("input altered (enabled=%v, parseErr=%v):\n--- in ---\n%s\n--- out ---\n%s", c.Enabled(), inErr, s, out)
+			}
+			return
+		}
+		if again := c.Compress(out); again != out {
+			t.Fatalf("not idempotent under %+v:\n--- once ---\n%s\n--- twice ---\n%s", c, out, again)
+		}
+		if c.TargetTokens > 0 && token.Count(out) > c.TargetTokens {
+			floor := (Compressor{Level: c.Level, TargetTokens: 1}).Compress(s)
+			if out != floor {
+				t.Fatalf("over budget (%d > %d) yet not at the structural floor:\n--- out ---\n%s\n--- floor ---\n%s",
+					token.Count(out), c.TargetTokens, out, floor)
+			}
+		}
+		parsedOut, err := Parse(out)
+		if err != nil {
+			t.Fatalf("compressed prompt no longer parses: %v\n--- out ---\n%s", err, out)
+		}
+		inFirst, _, _ := strings.Cut(s, "\n")
+		outFirst, _, _ := strings.Cut(out, "\n")
+		if inFirst != outFirst {
+			t.Fatalf("target line altered: %q -> %q", inFirst, outFirst)
+		}
+		if strings.Join(parsedOut.Categories, ",") != strings.Join(parsedIn.Categories, ",") {
+			t.Fatalf("categories altered: %v -> %v", parsedIn.Categories, parsedOut.Categories)
 		}
 	})
 }

@@ -45,6 +45,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/predictors"
+	"repro/internal/prompt"
 	"repro/internal/promptcache"
 	"repro/internal/tag"
 	"repro/internal/xrand"
@@ -166,6 +167,18 @@ type Options struct {
 	// CacheTTL expires persistent entries this long after they were
 	// written; 0 means they never expire.
 	CacheTTL time.Duration
+	// Compress, when 1..3, enables the deterministic prompt-compression
+	// stage (token-pruning v2): abstract spans are ranked by signal
+	// density and each abstract keeps at most 4/2/1 spans at level
+	// 1/2/3. Compression rewrites prompt bytes, so it versions the
+	// prompt-cache namespace (the template version becomes "v2+c<level>")
+	// — compressed and uncompressed runs never share cached answers.
+	Compress int
+	// TargetTokens, when > 0, additionally caps each compressed prompt
+	// at this token count: the globally sparsest spans keep dropping
+	// until the prompt fits or only the structural floor remains.
+	// Implies compression (level 1) when Compress is 0.
+	TargetTokens int
 
 	// QueryTimeout bounds each LLM call (per attempt); 0 means no
 	// deadline. A call past the deadline is abandoned with
@@ -239,6 +252,7 @@ func (o Options) execConfig() core.ExecConfig {
 		Hedge:        o.Hedge,
 		HedgeAfter:   o.HedgeAfter,
 		Affinity:     o.Affinity,
+		Compress:     prompt.Compressor{Level: o.Compress, TargetTokens: o.TargetTokens},
 	}
 }
 
@@ -316,7 +330,7 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 		defer c.Close()
 		pcache = c
 		ecfg.Disk = c
-		ecfg.CacheNamespace = promptcache.Namespace(p)
+		ecfg.CacheNamespace = promptcache.NamespaceVersion(p, ecfg.Compress.TemplateVersion())
 	}
 
 	var iq *core.Inadequacy
@@ -333,7 +347,7 @@ func Optimize(w *Workload, m Method, p Predictor, opt Options) (*Report, error) 
 					return pcache.Contains(promptcache.KeyOf(ns, promptText))
 				}
 			}
-			perQuery, perNeighbor := core.EstimateQueryTokensCached(ctx, m, w.Queries, 0, cached)
+			perQuery, perNeighbor := core.EstimateQueryTokensCompressed(ctx, m, w.Queries, 0, ecfg.Compress, cached)
 			var ok bool
 			tau, ok = core.TauForBudget(opt.Budget, len(w.Queries), perQuery, perNeighbor)
 			if !ok {
